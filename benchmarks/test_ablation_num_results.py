@@ -1,0 +1,36 @@
+"""A2 — DoD and construction time as a function of the number of compared results n.
+
+Sweeps the number of results selected for comparison (n ∈ {2, 5, 10, 20},
+truncated to what the query returns) on one IMDB query.  Expected shape: DoD
+grows super-linearly with n (it sums over result pairs) and construction time
+grows with n as well, staying well under a second.
+"""
+
+from repro.experiments.ablations import run_num_results_ablation
+from repro.experiments.report import format_measurements
+from repro.workloads.queries import QuerySpec
+
+
+def test_dod_vs_num_results(benchmark, imdb_runner, report):
+    # Use an uncapped version of QM3 so larger n values are actually reachable.
+    uncapped = QuerySpec("QM3_uncapped", "drama war", max_results=None)
+    imdb_runner.workload.queries.append(uncapped)
+    try:
+        rows = benchmark.pedantic(
+            run_num_results_ablation,
+            kwargs={
+                "result_counts": (2, 5, 10, 20),
+                "query_name": "QM3_uncapped",
+                "runner": imdb_runner,
+            },
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        imdb_runner.workload.queries.remove(uncapped)
+
+    report("Ablation A2: DoD vs number of compared results n (query QM3)", format_measurements(rows))
+
+    multi = [row.dod for row in rows if row.algorithm == "multi_swap"]
+    assert multi == sorted(multi), "DoD should grow with the number of results"
+    assert all(row.seconds < 2.0 for row in rows)

@@ -1,0 +1,27 @@
+"""A1 — DoD and construction time as a function of the DFS size limit L.
+
+The demo lets the user pick the comparison-table size bound; this ablation
+sweeps L over {2, 4, 6, 8, 10} on one IMDB query.  Expected shape: DoD grows
+monotonically with L for both algorithms (a larger budget can only help) and
+construction time grows mildly.
+"""
+
+from repro.experiments.ablations import run_size_limit_ablation
+from repro.experiments.report import format_measurements
+
+
+def test_dod_vs_size_limit(benchmark, imdb_runner, report):
+    rows = benchmark.pedantic(
+        run_size_limit_ablation,
+        kwargs={"size_limits": (2, 4, 6, 8, 10), "runner": imdb_runner},
+        rounds=1,
+        iterations=1,
+    )
+
+    report("Ablation A1: DoD vs size limit L (query QM1)", format_measurements(rows))
+
+    by_algorithm = {}
+    for row in rows:
+        by_algorithm.setdefault(row.algorithm, []).append(row.dod)
+    for algorithm, dods in by_algorithm.items():
+        assert dods == sorted(dods), f"{algorithm} DoD should not decrease with L"

@@ -1,0 +1,26 @@
+"""A5 — the whole algorithm field at equal budget on one IMDB query.
+
+Compares random, top-significance (snippet-like), greedy, single-swap and
+multi-swap on the same results with the same size bound.  Expected shape:
+random < top-significance ≲ greedy < single-swap ≤ multi-swap.
+"""
+
+from repro.experiments.ablations import run_algorithm_field
+from repro.experiments.report import format_measurements
+
+
+def test_algorithm_field(benchmark, imdb_runner, report):
+    rows = benchmark.pedantic(
+        run_algorithm_field,
+        kwargs={"query_name": "QM2", "runner": imdb_runner},
+        rounds=1,
+        iterations=1,
+    )
+
+    report("Ablation A5: algorithm field on query QM2 (L=5)", format_measurements(rows))
+
+    dods = {row.algorithm: row.dod for row in rows}
+    assert dods["multi_swap"] >= dods["top_significance"]
+    assert dods["single_swap"] >= dods["top_significance"]
+    assert dods["multi_swap"] >= dods["random"]
+    assert dods["greedy"] >= dods["random"]

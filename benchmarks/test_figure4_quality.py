@@ -1,0 +1,23 @@
+"""E1 — Figure 4(a): DoD of single-swap vs multi-swap over QM1-QM8 (IMDB).
+
+Regenerates the quality panel of Figure 4: for each of the eight movie queries,
+the total degree of differentiation achieved by the two XSACT algorithms over
+all compared results.  Expected shape: multi-swap matches or exceeds
+single-swap overall, and both comfortably beat the frequency-snippet baseline
+(see E4).
+"""
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.report import format_measurements
+
+
+def test_figure4a_dod_by_query(benchmark, imdb_runner, report):
+    rows = benchmark.pedantic(run_figure4, kwargs={"runner": imdb_runner}, rounds=1, iterations=1)
+
+    report("Figure 4(a): DoD per query (single-swap vs multi-swap)", format_measurements(rows))
+
+    assert len(rows) == 8
+    total_single = sum(row.single_swap_dod for row in rows)
+    total_multi = sum(row.multi_swap_dod for row in rows)
+    assert total_multi >= total_single * 0.95
+    assert all(row.multi_swap_dod > 0 for row in rows)

@@ -1,0 +1,43 @@
+"""E2 — Figure 4(b): processing time of single-swap vs multi-swap over QM1-QM8.
+
+Regenerates the efficiency panel of Figure 4: the DFS construction time of the
+two algorithms on every query.  Expected shape: both algorithms run in a small
+fraction of a second per query; which one is faster varies by query (the paper
+notes single-swap is usually faster but multi-swap can stop sooner because it
+changes many features per step — on this substrate the balance often tips
+towards multi-swap, which is recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.report import format_rows
+
+
+@pytest.mark.parametrize("algorithm", ["single_swap", "multi_swap"])
+def test_figure4b_construction_time(benchmark, imdb_runner, report, algorithm):
+    specs = imdb_runner.workload.queries
+    # Warm the search/extraction cache so only DFS construction is measured.
+    for spec in specs:
+        imdb_runner.result_features(spec)
+
+    def run_all_queries():
+        return [imdb_runner.run_query(spec, algorithm) for spec in specs]
+
+    measurements = benchmark.pedantic(run_all_queries, rounds=3, iterations=1)
+
+    report(
+        f"Figure 4(b): construction time per query ({algorithm})",
+        format_rows(
+            [
+                {
+                    "query": measurement.query_name,
+                    "results": measurement.num_results,
+                    "time_s": round(measurement.construction_seconds, 6),
+                    "dod": measurement.dod,
+                }
+                for measurement in measurements
+            ]
+        ),
+    )
+
+    assert all(measurement.construction_seconds < 2.0 for measurement in measurements)

@@ -1,0 +1,37 @@
+"""A4 — heuristics vs the exhaustive optimum on small instances.
+
+The DFS construction problem is NP-hard (Theorem 2.1); on micro-instances small
+enough to solve exhaustively this benchmark measures how close the heuristics
+get.  Expected shape: multi-swap ≥ single-swap ≥ the non-coordinating baselines,
+with multi-swap matching the optimum on most instances.
+"""
+
+from collections import defaultdict
+
+from repro.experiments.ablations import run_optimality_gap
+from repro.experiments.report import format_measurements
+
+
+def test_heuristics_vs_exhaustive_optimum(benchmark, report):
+    rows = benchmark.pedantic(
+        run_optimality_gap,
+        kwargs={"num_results": 3, "size_limit": 3, "seeds": (0, 1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+
+    report("Ablation A4: optimality gap on micro-instances (n=3, L=3)", format_measurements(rows))
+
+    by_seed = defaultdict(dict)
+    for row in rows:
+        by_seed[row.value][row.algorithm] = row.dod
+
+    matches = 0
+    for algorithms in by_seed.values():
+        optimum = algorithms["exhaustive"]
+        assert algorithms["multi_swap"] <= optimum
+        assert algorithms["single_swap"] <= optimum
+        assert algorithms["multi_swap"] >= algorithms["top_significance"]
+        if algorithms["multi_swap"] == optimum:
+            matches += 1
+    assert matches >= len(by_seed) // 2, "multi-swap should match the optimum on most instances"

@@ -1,0 +1,51 @@
+"""Substrate benchmarks: corpus generation, indexing, keyword search, extraction.
+
+These are not paper figures; they document the cost of the XSeek-substitute
+substrate that every experiment pays (generating the corpus, building the
+inverted index, answering SLCA queries, extracting feature statistics), so
+regressions in the supporting layers are visible separately from the DFS
+algorithms themselves.
+"""
+
+import pytest
+
+from repro.datasets.imdb import ImdbConfig, generate_imdb_corpus
+from repro.features.extractor import FeatureExtractor
+from repro.search.engine import SearchEngine
+from repro.storage.inverted_index import InvertedIndex
+
+
+def test_imdb_corpus_generation(benchmark):
+    corpus = benchmark.pedantic(
+        generate_imdb_corpus,
+        kwargs={"config": ImdbConfig(num_movies=100, seed=3)},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(corpus.store) == 100
+
+
+def test_inverted_index_build(benchmark, imdb_corpus):
+    index = benchmark.pedantic(
+        InvertedIndex.build, args=(imdb_corpus.store,), rounds=3, iterations=1
+    )
+    assert len(index) > 0
+
+
+@pytest.mark.parametrize("query", ["drama war", "action revenge", "comedy family"])
+def test_slca_keyword_search(benchmark, imdb_corpus, query):
+    engine = SearchEngine(imdb_corpus)
+    result_set = benchmark(engine.search, query)
+    assert len(result_set) >= 1
+
+
+def test_feature_extraction_per_result(benchmark, imdb_corpus):
+    engine = SearchEngine(imdb_corpus)
+    extractor = FeatureExtractor(statistics=imdb_corpus.statistics)
+    results = engine.search("drama war", limit=8)
+
+    def extract_all():
+        return [extractor.extract(result) for result in results]
+
+    features = benchmark(extract_all)
+    assert all(len(result_features) > 0 for result_features in features)

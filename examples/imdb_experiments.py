@@ -1,0 +1,58 @@
+"""Figure 4 reproduction: effectiveness and efficiency of XSACT on IMDB queries.
+
+Run with::
+
+    python examples/imdb_experiments.py
+
+Generates the synthetic IMDB corpus, runs the eight queries QM1-QM8, and prints
+the two panels of Figure 4 (DoD per query and construction time per query for
+the single-swap and multi-swap algorithms), followed by the ablation sweeps
+documented in DESIGN.md (size limit, number of results, threshold, optimality
+gap, algorithm field).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DFSConfig
+from repro.experiments.ablations import (
+    run_algorithm_field,
+    run_num_results_ablation,
+    run_optimality_gap,
+    run_size_limit_ablation,
+    run_threshold_ablation,
+)
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.report import format_measurements
+from repro.workloads.queries import imdb_workload
+from repro.workloads.runner import WorkloadRunner
+
+
+def main() -> None:
+    print("Generating the synthetic IMDB corpus and running QM1-QM8 ...\n")
+    runner = WorkloadRunner(imdb_workload(), config=DFSConfig(size_limit=5))
+
+    rows = run_figure4(runner=runner)
+    print(format_measurements(rows, title="Figure 4(a)+(b): DoD and construction time per query"))
+
+    print()
+    print(format_measurements(run_size_limit_ablation(runner=runner), title="A1: DoD vs size limit L"))
+    print()
+    print(
+        format_measurements(
+            run_num_results_ablation(runner=runner), title="A2: DoD vs number of results n"
+        )
+    )
+    print()
+    print(
+        format_measurements(
+            run_threshold_ablation(runner=runner), title="A3: DoD vs differentiability threshold x"
+        )
+    )
+    print()
+    print(format_measurements(run_optimality_gap(), title="A4: optimality gap on micro-instances"))
+    print()
+    print(format_measurements(run_algorithm_field(runner=runner), title="A5: algorithm field on QM2"))
+
+
+if __name__ == "__main__":
+    main()

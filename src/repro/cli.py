@@ -1,0 +1,161 @@
+"""Command-line interface for the XSACT reproduction.
+
+The demo system is a web application; this CLI offers the equivalent
+interactions from a terminal so the system can be exercised without writing
+Python:
+
+* ``repro-xsact search``  — run a keyword query against one of the synthetic
+  corpora and list the ranked results (the demo's result page).
+* ``repro-xsact compare`` — run a query and build the comparison table for the
+  top-N results (the demo's "comparison" button), optionally writing HTML.
+* ``repro-xsact figure4`` — regenerate the Figure 4 experiment table.
+
+Examples
+--------
+::
+
+    python -m repro.cli search --dataset products --query "tomtom gps"
+    python -m repro.cli compare --dataset products --query "tomtom gps" --top 2 --size-limit 6
+    python -m repro.cli figure4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.comparison.pipeline import Xsact
+from repro.core.config import DFSConfig
+from repro.datasets.imdb import generate_imdb_corpus
+from repro.datasets.outdoor_retailer import generate_outdoor_corpus
+from repro.datasets.product_reviews import generate_product_reviews_corpus
+from repro.errors import ReproError
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.report import format_measurements
+from repro.storage.corpus import Corpus
+
+__all__ = ["build_parser", "main"]
+
+_DATASETS: Dict[str, Callable[[], Corpus]] = {
+    "products": generate_product_reviews_corpus,
+    "outdoor": generate_outdoor_corpus,
+    "imdb": generate_imdb_corpus,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-xsact",
+        description="XSACT (VLDB 2010) reproduction: compare structured search results.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    search = subparsers.add_parser("search", help="run a keyword query and list results")
+    _add_corpus_arguments(search)
+    search.add_argument("--query", required=True, help="keyword query, e.g. 'tomtom gps'")
+    search.add_argument("--limit", type=int, default=None, help="maximum number of results to list")
+
+    compare = subparsers.add_parser("compare", help="compare the top results of a query")
+    _add_corpus_arguments(compare)
+    compare.add_argument("--query", required=True, help="keyword query, e.g. 'tomtom gps'")
+    compare.add_argument("--top", type=int, default=2, help="number of top results to compare")
+    compare.add_argument("--size-limit", type=int, default=5, help="DFS size bound L")
+    compare.add_argument(
+        "--algorithm",
+        default="multi_swap",
+        choices=["top_significance", "random", "greedy", "single_swap", "multi_swap"],
+        help="DFS construction algorithm",
+    )
+    compare.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "markdown", "html"],
+        help="output format of the comparison table",
+    )
+    compare.add_argument("--output", default=None, help="write the table to this file instead of stdout")
+
+    figure4 = subparsers.add_parser("figure4", help="regenerate the Figure 4 experiment")
+    figure4.add_argument("--size-limit", type=int, default=5, help="DFS size bound L")
+    return parser
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="products",
+        choices=sorted(_DATASETS),
+        help="synthetic corpus to search (default: products)",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="load a corpus from a directory of .xml files instead of generating one",
+    )
+
+
+def _load_corpus(arguments: argparse.Namespace) -> Corpus:
+    if arguments.corpus_dir:
+        return Corpus.from_directory(arguments.corpus_dir)
+    return _DATASETS[arguments.dataset]()
+
+
+def _command_search(arguments: argparse.Namespace, out) -> int:
+    corpus = _load_corpus(arguments)
+    xsact = Xsact(corpus)
+    result_set = xsact.search(arguments.query, limit=arguments.limit)
+    print(f'{len(result_set)} result(s) for query "{arguments.query}" on corpus {corpus.name!r}:', file=out)
+    for result in result_set:
+        print(f"  [{result.result_id}] {result.title}  (doc={result.doc_id}, score={result.score:.3f})", file=out)
+    return 0
+
+
+def _command_compare(arguments: argparse.Namespace, out) -> int:
+    corpus = _load_corpus(arguments)
+    config = DFSConfig(size_limit=arguments.size_limit)
+    xsact = Xsact(corpus, config=config, algorithm=arguments.algorithm)
+    outcome = xsact.search_and_compare(
+        arguments.query, top=arguments.top, size_limit=arguments.size_limit
+    )
+    if arguments.format == "markdown":
+        rendered = outcome.to_markdown()
+    elif arguments.format == "html":
+        rendered = outcome.to_html()
+    else:
+        rendered = outcome.to_text()
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print(f"comparison table (DoD={outcome.dod}) written to {arguments.output}", file=out)
+    else:
+        print(rendered, file=out)
+    return 0
+
+
+def _command_figure4(arguments: argparse.Namespace, out) -> int:
+    rows = run_figure4(config=DFSConfig(size_limit=arguments.size_limit))
+    print(format_measurements(rows, title="Figure 4: DoD and construction time per query"), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "search": _command_search,
+        "compare": _command_compare,
+        "figure4": _command_figure4,
+    }
+    try:
+        return handlers[arguments.command](arguments, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

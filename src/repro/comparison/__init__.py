@@ -1,0 +1,27 @@
+"""Comparison tables and the end-to-end XSACT pipeline (the system front end).
+
+The user-visible output of XSACT is the comparison table of Figure 2: rows are
+feature types, columns are the selected results, and each cell shows the value
+and occurrence statistics of that result's DFS for that type (or is blank when
+the type is not in the result's DFS).  This package builds that table from a
+DFS set (:mod:`~repro.comparison.table`), renders it as plain text, Markdown or
+HTML (:mod:`~repro.comparison.render`), and wires the whole Figure 3
+architecture together in :class:`~repro.comparison.pipeline.Xsact`:
+search engine → result selection → entity identification → feature extraction →
+DFS generation → comparison table.
+"""
+
+from repro.comparison.pipeline import ComparisonOutcome, Xsact
+from repro.comparison.render import render_html, render_markdown, render_text
+from repro.comparison.table import ComparisonCell, ComparisonRow, ComparisonTable
+
+__all__ = [
+    "ComparisonCell",
+    "ComparisonRow",
+    "ComparisonTable",
+    "render_text",
+    "render_markdown",
+    "render_html",
+    "Xsact",
+    "ComparisonOutcome",
+]

@@ -1,0 +1,225 @@
+"""The end-to-end XSACT pipeline (Figure 3 of the paper).
+
+The :class:`Xsact` class ties the whole system together the way the demo's web
+interface does:
+
+1. the user issues a keyword query → the search engine returns ranked results;
+2. the user selects the results to compare (by result id, mirroring the demo's
+   checkboxes) and optionally a comparison-table size limit;
+3. the result processor identifies entities and extracts features;
+4. the DFS generator builds a Differentiation Feature Set per result with the
+   chosen algorithm (single-swap or multi-swap);
+5. the comparison table is assembled and can be rendered as text / Markdown /
+   HTML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.comparison.render import render_html, render_markdown, render_text
+from repro.comparison.table import ComparisonTable
+from repro.core.config import DFSConfig
+from repro.core.generator import DFSGenerator, GenerationOutcome
+from repro.errors import ComparisonError
+from repro.features.extractor import FeatureExtractor
+from repro.features.statistics import ResultFeatures
+from repro.search.engine import SearchEngine
+from repro.search.query import KeywordQuery
+from repro.search.result import SearchResult, SearchResultSet
+from repro.storage.corpus import Corpus
+
+__all__ = ["ComparisonOutcome", "Xsact"]
+
+
+@dataclass
+class ComparisonOutcome:
+    """Everything produced by one comparison request.
+
+    Attributes
+    ----------
+    query:
+        The keyword query the results came from.
+    results:
+        The selected results, in the order the user picked them.
+    features:
+        The extracted feature statistics, aligned with ``results``.
+    generation:
+        The DFS generation outcome (DFS set, DoD, timing).
+    table:
+        The comparison table built from the DFS set.
+    """
+
+    query: KeywordQuery
+    results: List[SearchResult]
+    features: List[ResultFeatures]
+    generation: GenerationOutcome
+    table: ComparisonTable
+
+    @property
+    def dod(self) -> int:
+        """Total degree of differentiation of the generated DFSs."""
+        return self.generation.dod
+
+    def to_text(self) -> str:
+        """Plain-text rendering of the comparison table."""
+        return render_text(self.table)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering of the comparison table."""
+        return render_markdown(self.table)
+
+    def to_html(self) -> str:
+        """HTML rendering of the comparison table."""
+        return render_html(self.table, title=f"XSACT comparison for query: {self.query}")
+
+
+class Xsact:
+    """The XSACT system facade.
+
+    Parameters
+    ----------
+    corpus:
+        The XML corpus to search (one of the dataset generators' outputs or a
+        corpus loaded from disk).
+    config:
+        DFS construction configuration (size limit, threshold).
+    algorithm:
+        Default DFS construction algorithm (``"multi_swap"`` as in the demo's
+        preferred setting; ``"single_swap"`` is the faster alternative).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        config: Optional[DFSConfig] = None,
+        algorithm: str = "multi_swap",
+    ):
+        self.corpus = corpus
+        self.config = config or DFSConfig()
+        self.algorithm = algorithm
+        self.engine = SearchEngine(corpus)
+        self.extractor = FeatureExtractor(statistics=corpus.statistics)
+        self.generator = DFSGenerator(self.config)
+
+    # ------------------------------------------------------------------ #
+    # Step 1: search
+    # ------------------------------------------------------------------ #
+    def search(self, query: "str | KeywordQuery", limit: Optional[int] = None) -> SearchResultSet:
+        """Run the keyword query and return the ranked result list."""
+        return self.engine.search(query, limit=limit)
+
+    # ------------------------------------------------------------------ #
+    # Steps 2-5: compare selected results
+    # ------------------------------------------------------------------ #
+    def compare(
+        self,
+        result_set: SearchResultSet,
+        result_ids: Optional[Sequence[str]] = None,
+        size_limit: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> ComparisonOutcome:
+        """Compare selected results and build their comparison table.
+
+        Parameters
+        ----------
+        result_set:
+            The result list returned by :meth:`search`.
+        result_ids:
+            Ids of the results to compare (the checkbox selection).  Defaults
+            to every result in the set.
+        size_limit:
+            Optional override of the DFS size bound for this comparison (the
+            demo lets the user type it next to the comparison button).
+        algorithm:
+            Optional override of the DFS construction algorithm.
+
+        Raises
+        ------
+        ComparisonError
+            When fewer than two results are selected.
+        """
+        selected = (
+            result_set.select(result_ids) if result_ids is not None else list(result_set)
+        )
+        if len(selected) < 2:
+            raise ComparisonError("select at least two results to compare")
+
+        config = self.config
+        if size_limit is not None and size_limit != config.size_limit:
+            config = DFSConfig(
+                size_limit=size_limit,
+                threshold_percent=config.threshold_percent,
+                use_rates=config.use_rates,
+                compare_values=config.compare_values,
+                max_rounds=config.max_rounds,
+            )
+
+        features = [self.extractor.extract(result) for result in selected]
+        generator = DFSGenerator(config)
+        generation = generator.generate(features, algorithm=algorithm or self.algorithm)
+        table = ComparisonTable.from_dfs_set(
+            generation.dfs_set,
+            config=config,
+            column_titles=[result.title or result.result_id for result in selected],
+        )
+        return ComparisonOutcome(
+            query=result_set.query,
+            results=selected,
+            features=features,
+            generation=generation,
+            table=table,
+        )
+
+    def compare_documents(
+        self,
+        doc_ids: Sequence[str],
+        size_limit: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        query: "str | KeywordQuery" = "document comparison",
+    ) -> ComparisonOutcome:
+        """Compare whole documents (e.g. the Outdoor Retailer brand scenario).
+
+        The demo's Outdoor Retailer walkthrough compares *brands* — whole
+        documents — rather than the minimal SLCA subtrees, so this entry point
+        builds one pseudo-result per document root and runs the same
+        feature-extraction / DFS-generation / table pipeline over them.
+        """
+        if len(doc_ids) < 2:
+            raise ComparisonError("select at least two documents to compare")
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+        results: List[SearchResult] = []
+        for position, doc_id in enumerate(doc_ids, start=1):
+            document = self.corpus.store.get(doc_id)
+            subtree = document.root.copy()
+            subtree.relabel()
+            results.append(
+                SearchResult(
+                    result_id=f"R{position}",
+                    doc_id=doc_id,
+                    match_label=document.root.label,
+                    return_label=document.root.label,
+                    subtree=subtree,
+                    title=SearchEngine._result_title(subtree, doc_id),
+                )
+            )
+        result_set = SearchResultSet(query=query, results=results)
+        return self.compare(result_set, size_limit=size_limit, algorithm=algorithm)
+
+    def search_and_compare(
+        self,
+        query: "str | KeywordQuery",
+        top: int = 2,
+        size_limit: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> ComparisonOutcome:
+        """Convenience: search and compare the top ``top`` results in one call."""
+        result_set = self.search(query)
+        if len(result_set) < 2:
+            raise ComparisonError(
+                f"query {str(query)!r} returned {len(result_set)} result(s); need at least two to compare"
+            )
+        ids = [result.result_id for result in result_set.top(top)]
+        return self.compare(result_set, result_ids=ids, size_limit=size_limit, algorithm=algorithm)

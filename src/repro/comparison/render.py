@@ -1,0 +1,95 @@
+"""Rendering of comparison tables as text, Markdown and HTML.
+
+The demo system shows the table in a browser window; here the same content is
+produced in three formats so that the examples can print it to a terminal, the
+experiment reports can embed it in Markdown, and an HTML file can still be
+opened in a browser for the closest equivalent of the original demo.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.comparison.table import ComparisonTable
+
+__all__ = ["render_text", "render_markdown", "render_html"]
+
+
+def render_text(table: ComparisonTable, mark_differentiating: bool = True) -> str:
+    """Render the table as aligned plain text."""
+    header = ["Feature type"] + list(table.column_titles)
+    body: List[List[str]] = []
+    for row in table.rows:
+        marker = "*" if (mark_differentiating and row.differentiating) else " "
+        body.append([f"{marker} {row.label()}"] + [cell.display() for cell in row.cells])
+
+    widths = [len(column) for column in header]
+    for line in body:
+        for index, cell in enumerate(line):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_line(cells: List[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [format_line(header), separator]
+    lines.extend(format_line(line) for line in body)
+    lines.append(separator)
+    lines.append(f"Degree of differentiation (DoD): {table.dod}")
+    if mark_differentiating:
+        lines.append("* = feature type on which the selected results differ")
+    return "\n".join(lines)
+
+
+def render_markdown(table: ComparisonTable) -> str:
+    """Render the table as GitHub-flavoured Markdown."""
+    header = ["Feature type"] + list(table.column_titles)
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join(["---"] * len(header)) + "|")
+    for row in table.rows:
+        label = f"**{row.label()}**" if row.differentiating else row.label()
+        cells = [cell.display() for cell in row.cells]
+        lines.append("| " + " | ".join([label] + cells) + " |")
+    lines.append("")
+    lines.append(f"_DoD = {table.dod}_")
+    return "\n".join(lines)
+
+
+def render_html(table: ComparisonTable, title: str = "XSACT comparison table") -> str:
+    """Render the table as a standalone HTML page."""
+    def escape(text: str) -> str:
+        return (
+            text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+
+    rows_html: List[str] = []
+    for row in table.rows:
+        css_class = "diff" if row.differentiating else ""
+        cells = "".join(f"<td>{escape(cell.display())}</td>" for cell in row.cells)
+        rows_html.append(
+            f'<tr class="{css_class}"><th scope="row">{escape(row.label())}</th>{cells}</tr>'
+        )
+    header_cells = "".join(f"<th>{escape(title_)}</th>" for title_ in table.column_titles)
+    return f"""<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{escape(title)}</title>
+<style>
+  body {{ font-family: sans-serif; margin: 2em; }}
+  table {{ border-collapse: collapse; }}
+  th, td {{ border: 1px solid #999; padding: 0.4em 0.8em; text-align: left; }}
+  tr.diff th, tr.diff td {{ background: #fdf3d0; }}
+  caption {{ caption-side: bottom; padding-top: 0.6em; font-style: italic; }}
+</style>
+</head>
+<body>
+<h1>{escape(title)}</h1>
+<table>
+<caption>Degree of differentiation (DoD): {table.dod}; highlighted rows differentiate the results.</caption>
+<tr><th>Feature type</th>{header_cells}</tr>
+{"".join(rows_html)}
+</table>
+</body>
+</html>
+"""

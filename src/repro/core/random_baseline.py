@@ -1,0 +1,84 @@
+"""Random valid baseline.
+
+Selects, for each result, a random valid selection of at most ``L`` features:
+a random size is drawn, then rows are taken in significance order with ties
+shuffled.  The baseline exists to anchor the algorithm-comparison experiments —
+any sensible method must beat it — and to exercise the validity checker with
+arbitrary (but valid) selections in property-based tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.dfs import DFS, DFSSet
+from repro.core.problem import DFSProblem
+from repro.features.statistics import FeatureStatistics, ResultFeatures
+
+__all__ = ["random_dfs"]
+
+
+def random_dfs(problem: DFSProblem, seed: Optional[int] = 0) -> DFSSet:
+    """Build a random valid DFS set.
+
+    Parameters
+    ----------
+    problem:
+        The DFS construction instance.
+    seed:
+        Seed for the internal random generator; pass ``None`` for
+        non-deterministic selections.
+    """
+    rng = random.Random(seed)
+    limit = problem.config.size_limit
+    dfss: List[DFS] = []
+    for result in problem.results:
+        size = rng.randint(1, min(limit, len(result)))
+        dfss.append(DFS(result, _random_valid_rows(result, size, rng)))
+    return DFSSet(dfss)
+
+
+def _random_valid_rows(
+    result: ResultFeatures,
+    size: int,
+    rng: random.Random,
+) -> List[FeatureStatistics]:
+    """Pick ``size`` rows forming a valid selection.
+
+    Rows are consumed entity by entity in a random interleaving, but within an
+    entity strictly in significance order (ties shuffled), which guarantees the
+    prefix property and therefore validity.
+    """
+    queues = {
+        entity: _shuffled_significance_order(result, entity, rng)
+        for entity in result.entities()
+    }
+    chosen: List[FeatureStatistics] = []
+    while len(chosen) < size:
+        non_empty = [entity for entity, queue in queues.items() if queue]
+        if not non_empty:
+            break
+        entity = rng.choice(non_empty)
+        chosen.append(queues[entity].pop(0))
+    return chosen
+
+
+def _shuffled_significance_order(
+    result: ResultFeatures,
+    entity: str,
+    rng: random.Random,
+) -> List[FeatureStatistics]:
+    """Significance order with ties randomly permuted."""
+    rows = result.significance_order(entity)
+    groups: List[List[FeatureStatistics]] = []
+    for row in rows:
+        if groups and groups[-1][0].occurrences == row.occurrences:
+            groups[-1].append(row)
+        else:
+            groups.append([row])
+    ordered: List[FeatureStatistics] = []
+    for group in groups:
+        rng.shuffle(group)
+        ordered.extend(group)
+    return ordered

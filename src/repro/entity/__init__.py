@@ -1,0 +1,28 @@
+"""Entity and attribute identification (the "Entity Identifier" of Figure 3).
+
+XSACT's result processor first infers which nodes of a result denote entities,
+attributes, values and connections, "in the spirit of the Entity-Relationship
+model" (paper, Section 2, citing XSeek [3]).  The classifier here reproduces
+that inference from data characteristics alone:
+
+* a node whose tag repeats under a single parent is an **entity** (it plays the
+  role of a starred element in a DTD: ``review``, ``product``, ``movie`` ...),
+* a leaf element is a **value carrier**: its tag is the **attribute** name and
+  its text is the **value**,
+* an internal node that groups attributes for a single conceptual object is
+  also treated as an entity when it has heterogeneous children,
+* remaining internal nodes (e.g. ``<reviews>``, ``<pros>``) are **connection**
+  nodes that merely group entities or attributes.
+"""
+
+from repro.entity.classifier import NodeCategory, NodeClassifier, classify_result_tree
+from repro.entity.schema import EntitySchema, SchemaAttribute, infer_schema
+
+__all__ = [
+    "NodeCategory",
+    "NodeClassifier",
+    "classify_result_tree",
+    "EntitySchema",
+    "SchemaAttribute",
+    "infer_schema",
+]

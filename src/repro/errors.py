@@ -1,0 +1,109 @@
+"""Exception hierarchy for the XSACT reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries while still being able to
+discriminate the failing subsystem (parsing, storage, search, feature
+extraction, DFS construction) when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "XMLParseError",
+    "DeweyError",
+    "StorageError",
+    "DocumentNotFoundError",
+    "IndexError_",
+    "QueryError",
+    "SearchError",
+    "EntityInferenceError",
+    "FeatureExtractionError",
+    "DFSConstructionError",
+    "InvalidDFSError",
+    "ComparisonError",
+    "DatasetError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document cannot be parsed.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input at which parsing failed, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class DeweyError(ReproError):
+    """Raised for malformed Dewey labels or invalid Dewey operations."""
+
+
+class StorageError(ReproError):
+    """Base class for document-store and index errors."""
+
+
+class DocumentNotFoundError(StorageError):
+    """Raised when a document id is not present in a :class:`DocumentStore`."""
+
+    def __init__(self, doc_id: str):
+        super().__init__(f"document not found: {doc_id!r}")
+        self.doc_id = doc_id
+
+
+class IndexError_(StorageError):
+    """Raised when an inverted-index operation fails.
+
+    The trailing underscore avoids shadowing the built-in :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """Raised for malformed keyword queries (e.g. empty keyword lists)."""
+
+
+class SearchError(ReproError):
+    """Raised when search-engine evaluation fails."""
+
+
+class EntityInferenceError(ReproError):
+    """Raised when node-category inference cannot classify a result tree."""
+
+
+class FeatureExtractionError(ReproError):
+    """Raised when feature extraction fails on a result tree."""
+
+
+class DFSConstructionError(ReproError):
+    """Raised when DFS construction receives inconsistent inputs."""
+
+
+class InvalidDFSError(DFSConstructionError):
+    """Raised when a DFS violates validity or the size bound."""
+
+
+class ComparisonError(ReproError):
+    """Raised when a comparison table cannot be assembled or rendered."""
+
+
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset generators for invalid parameters."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload definition is inconsistent."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment runner is misconfigured."""

@@ -1,0 +1,75 @@
+"""Synthetic micro-instances of the DFS construction problem.
+
+The optimality-gap experiment (A4) and several tests need DFS problem
+instances that are (a) small enough for the exhaustive solver and (b) generated
+directly at the feature-statistics level, without running the whole
+search/extraction pipeline.  :func:`micro_instance` builds such instances
+deterministically from a seed: a handful of results sharing a pool of feature
+types, with skewed occurrence counts so the validity constraint has bite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.config import DFSConfig
+from repro.core.problem import DFSProblem
+from repro.features.feature import Feature
+from repro.features.statistics import FeatureStatistics, ResultFeatures
+
+__all__ = ["micro_instance", "micro_result"]
+
+
+def micro_result(
+    result_id: str,
+    rng: random.Random,
+    entities: Sequence[str] = ("product", "review.pro", "review.con"),
+    attributes_per_entity: int = 4,
+    population: int = 20,
+    value_pool: Sequence[str] = ("yes", "red", "blue", "large", "small"),
+) -> ResultFeatures:
+    """Build one synthetic result's feature statistics.
+
+    Every entity scope gets ``attributes_per_entity`` feature types with
+    occurrence counts drawn between 1 and ``population``; values are drawn from
+    a small pool so that some pairs of results agree on a value (not
+    differentiable) and others do not.
+    """
+    result = ResultFeatures(result_id=result_id)
+    for entity in entities:
+        for attribute_index in range(attributes_per_entity):
+            attribute = f"attr{attribute_index}"
+            value = rng.choice(list(value_pool))
+            occurrences = rng.randint(1, population)
+            result.add(
+                FeatureStatistics(
+                    feature=Feature(entity=entity, attribute=attribute, value=value),
+                    occurrences=occurrences,
+                    population=population,
+                )
+            )
+    return result
+
+
+def micro_instance(
+    num_results: int = 3,
+    size_limit: int = 3,
+    seed: int = 0,
+    entities: Sequence[str] = ("product", "review.pro", "review.con"),
+    attributes_per_entity: int = 4,
+    config: Optional[DFSConfig] = None,
+) -> DFSProblem:
+    """Build a small, exhaustively solvable DFS problem instance."""
+    rng = random.Random(seed)
+    results: List[ResultFeatures] = [
+        micro_result(
+            f"R{index + 1}",
+            rng,
+            entities=entities,
+            attributes_per_entity=attributes_per_entity,
+        )
+        for index in range(num_results)
+    ]
+    config = config or DFSConfig(size_limit=size_limit)
+    return DFSProblem(results=results, config=config)

@@ -1,0 +1,64 @@
+"""Feature and feature-type value objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["FeatureType", "Feature"]
+
+
+@dataclass(frozen=True, order=True)
+class FeatureType:
+    """A feature type: an (entity, attribute) pair such as ``(review, pro)``.
+
+    Feature types are the unit of comparability in XSACT: "two results are
+    comparable by features of the same type" (paper, Section 2).
+    """
+
+    entity: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.entity}.{self.attribute}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FeatureType":
+        """Parse the ``entity.attribute`` string form produced by ``str()``.
+
+        Entity names may themselves contain dots (e.g. the ``review.pro``
+        opinion-group scope), so the attribute is the *last* dot-separated
+        segment.
+        """
+        entity, _, attribute = text.rpartition(".")
+        if not entity or not attribute:
+            raise ValueError(f"malformed feature type: {text!r}")
+        return cls(entity=entity, attribute=attribute)
+
+
+@dataclass(frozen=True, order=True)
+class Feature:
+    """A feature: an (entity, attribute, value) triplet.
+
+    Examples
+    --------
+    >>> feature = Feature("product", "name", "TomTom Go 630")
+    >>> feature.feature_type
+    FeatureType(entity='product', attribute='name')
+    """
+
+    entity: str
+    attribute: str
+    value: str
+
+    @property
+    def feature_type(self) -> FeatureType:
+        """The (entity, attribute) pair of this feature."""
+        return FeatureType(entity=self.entity, attribute=self.attribute)
+
+    def __str__(self) -> str:
+        return f"{self.entity}.{self.attribute}:{self.value}"
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        """Return the raw (entity, attribute, value) tuple."""
+        return (self.entity, self.attribute, self.value)

@@ -1,0 +1,84 @@
+"""Exclusive Lowest Common Ancestor (ELCA) computation.
+
+A node is an ELCA match if its subtree contains every query keyword *after*
+excluding the subtrees of its descendant LCA matches.  ELCA is a superset of
+SLCA; XSeek-style engines expose it when users want the broader semantics.
+The XSACT experiments run on SLCA results (the engine default), but the ELCA
+module completes the search substrate and is exercised by its own tests and an
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set
+
+from repro.search.slca import compute_slca
+from repro.storage.inverted_index import Posting
+from repro.xmlmodel.dewey import DeweyLabel
+
+__all__ = ["compute_elca"]
+
+
+def compute_elca(keyword_postings: Sequence[Sequence[Posting]]) -> List[Posting]:
+    """Return the ELCA nodes for the given per-keyword posting lists.
+
+    The implementation follows the definition directly: start from all LCA
+    candidates (ancestors-or-self of keyword matches), and keep a candidate if,
+    for every keyword, it has a witness occurrence that is not inside any
+    *deeper* LCA candidate that itself contains all keywords.
+    """
+    lists = [list(postings) for postings in keyword_postings]
+    if not lists or any(not postings for postings in lists):
+        return []
+
+    per_document_lists: Dict[str, List[List[DeweyLabel]]] = defaultdict(lambda: [[] for _ in lists])
+    for index, postings in enumerate(lists):
+        for posting in postings:
+            per_document_lists[posting.doc_id][index].append(posting.label)
+
+    results: List[Posting] = []
+    for doc_id in sorted(per_document_lists):
+        label_lists = per_document_lists[doc_id]
+        if any(not labels for labels in label_lists):
+            continue
+        for label in _elca_single_document(label_lists):
+            results.append(Posting(doc_id=doc_id, label=label))
+    results.sort()
+    return results
+
+
+def _elca_single_document(label_lists: List[List[DeweyLabel]]) -> List[DeweyLabel]:
+    # All candidate nodes: ancestors-or-self of any match.
+    candidates: Set[DeweyLabel] = set()
+    for labels in label_lists:
+        for label in labels:
+            candidates.add(label)
+            candidates.update(label.ancestors())
+
+    def contains_all(node: DeweyLabel) -> bool:
+        return all(
+            any(node.is_ancestor_or_self_of(label) for label in labels)
+            for labels in label_lists
+        )
+
+    lca_matches = sorted(candidate for candidate in candidates if contains_all(candidate))
+
+    elcas: List[DeweyLabel] = []
+    for node in lca_matches:
+        # Child LCA matches strictly below this node.
+        descendants = [other for other in lca_matches if node.is_ancestor_of(other)]
+        witness_for_every_keyword = True
+        for labels in label_lists:
+            has_exclusive_witness = any(
+                node.is_ancestor_or_self_of(label)
+                and not any(descendant.is_ancestor_or_self_of(label) for descendant in descendants)
+                for label in labels
+            )
+            if not has_exclusive_witness:
+                witness_for_every_keyword = False
+                break
+        if witness_for_every_keyword:
+            elcas.append(node)
+    elcas.sort()
+    return elcas

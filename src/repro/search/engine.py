@@ -1,0 +1,119 @@
+"""The :class:`SearchEngine` facade.
+
+This is the component labelled "Search Engine" in the XSACT architecture
+diagram (Figure 3 of the paper): keywords go in, a ranked list of structured
+results comes out.  The pipeline is
+
+1. look up the posting list of every query keyword in the inverted index,
+2. compute SLCA (or ELCA) match nodes,
+3. infer the return subtree for each match with the XSeek rules,
+4. deduplicate results that map to the same return node,
+5. copy the return subtrees out of the corpus, rank them and assign ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Literal, Optional, Tuple
+
+from repro.errors import SearchError
+from repro.search.elca import compute_elca
+from repro.search.query import KeywordQuery
+from repro.search.ranking import rank_results
+from repro.search.result import SearchResult, SearchResultSet
+from repro.search.slca import compute_slca
+from repro.search.xseek import infer_return_subtree
+from repro.storage.corpus import Corpus
+from repro.storage.inverted_index import Posting
+from repro.xmlmodel.dewey import DeweyLabel
+from repro.xmlmodel.node import XMLNode
+
+__all__ = ["SearchEngine"]
+
+_TITLE_TAGS = ("name", "title", "brand_name", "product_name", "label")
+
+
+class SearchEngine:
+    """Keyword search over a :class:`~repro.storage.corpus.Corpus`."""
+
+    def __init__(self, corpus: Corpus, semantics: Literal["slca", "elca"] = "slca"):
+        if semantics not in ("slca", "elca"):
+            raise SearchError(f"unknown result semantics: {semantics!r}")
+        self.corpus = corpus
+        self.semantics = semantics
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def search(self, query: "KeywordQuery | str", limit: Optional[int] = None) -> SearchResultSet:
+        """Evaluate a keyword query and return ranked results.
+
+        Parameters
+        ----------
+        query:
+            A :class:`KeywordQuery` or a raw query string.
+        limit:
+            Optional cap on the number of results returned (after ranking).
+        """
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+
+        matches = self._compute_matches(query)
+        results = self._materialise_results(matches)
+        ranked = rank_results(results, query, self.corpus.statistics)
+        if limit is not None:
+            ranked = ranked[:limit]
+        for position, result in enumerate(ranked, start=1):
+            result.result_id = f"R{position}"
+        return SearchResultSet(query=query, results=list(ranked))
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages
+    # ------------------------------------------------------------------ #
+    def _compute_matches(self, query: KeywordQuery) -> List[Posting]:
+        posting_lists = self.corpus.index.keyword_node_lists(query.keywords)
+        if not posting_lists:
+            return []
+        if self.semantics == "slca":
+            return compute_slca(posting_lists)
+        return compute_elca(posting_lists)
+
+    def _materialise_results(self, matches: List[Posting]) -> List[SearchResult]:
+        seen_return_nodes: Dict[Tuple[str, DeweyLabel], SearchResult] = {}
+        results: List[SearchResult] = []
+        for match in matches:
+            document = self.corpus.store.get(match.doc_id)
+            match_node = document.node_at(match.label)
+            return_node = infer_return_subtree(match_node, self.corpus.statistics)
+            key = (match.doc_id, return_node.label)
+            if key in seen_return_nodes:
+                continue
+            subtree = return_node.copy()
+            subtree.relabel()
+            result = SearchResult(
+                result_id="",
+                doc_id=match.doc_id,
+                match_label=match.label,
+                return_label=return_node.label,
+                subtree=subtree,
+                title=self._result_title(subtree, match.doc_id),
+            )
+            seen_return_nodes[key] = result
+            results.append(result)
+        return results
+
+    @staticmethod
+    def _result_title(subtree: XMLNode, doc_id: str) -> str:
+        for tag in _TITLE_TAGS:
+            child = subtree.find_child(tag)
+            if child is not None:
+                text = child.text_content()
+                if text:
+                    return text
+        # Fall back to any descendant name-like node, then to the doc id.
+        for tag in _TITLE_TAGS:
+            descendants = subtree.find_descendants(tag)
+            if descendants:
+                text = descendants[0].text_content()
+                if text:
+                    return text
+        return f"{doc_id}:{subtree.tag}"

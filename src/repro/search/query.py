@@ -1,0 +1,77 @@
+"""Keyword query model.
+
+A query is an ordered list of keywords; the engine applies conjunctive
+("AND") semantics, as XML keyword search systems such as XSeek do.  The query
+object also remembers the raw user text so that reports and the comparison
+table UI can echo it back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.storage.tokenizer import tokenize
+
+__all__ = ["KeywordQuery"]
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """A parsed keyword query.
+
+    Attributes
+    ----------
+    keywords:
+        The tokenised keywords, in the order given by the user, duplicates
+        removed (keeping the first occurrence).
+    raw:
+        The original query string (or a reconstruction when built from a list).
+    """
+
+    keywords: Tuple[str, ...]
+    raw: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise QueryError("a keyword query needs at least one keyword")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, text: str) -> "KeywordQuery":
+        """Parse a raw query string, e.g. ``"TomTom, GPS"``.
+
+        Commas and whitespace both separate keywords; tokens are lowercased
+        and stopwords removed by the shared tokenizer.
+        """
+        tokens = tokenize(text)
+        deduplicated = list(dict.fromkeys(tokens))
+        if not deduplicated:
+            raise QueryError(f"query {text!r} contains no searchable keywords")
+        return cls(keywords=tuple(deduplicated), raw=text)
+
+    @classmethod
+    def of(cls, keywords: Sequence[str]) -> "KeywordQuery":
+        """Build a query from an explicit keyword sequence."""
+        flattened: List[str] = []
+        for keyword in keywords:
+            flattened.extend(tokenize(keyword))
+        deduplicated = list(dict.fromkeys(flattened))
+        if not deduplicated:
+            raise QueryError("keyword list contains no searchable keywords")
+        return cls(keywords=tuple(deduplicated), raw=" ".join(keywords))
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keywords)
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+    def __str__(self) -> str:
+        return self.raw or " ".join(self.keywords)

@@ -1,0 +1,75 @@
+"""TF-IDF ranking of search results.
+
+XSACT itself is agnostic to ranking — the user picks which results to compare —
+but the engine still orders results so that result ids (R1, R2, ...) are stable
+and the "top n results" experiments are well defined.  The score is a standard
+TF-IDF sum over the query keywords, computed against the result subtree, with a
+mild size normalisation so that gigantic subtrees do not win on raw term count
+alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.search.query import KeywordQuery
+from repro.search.result import SearchResult
+from repro.storage.statistics import CorpusStatistics
+from repro.storage.tokenizer import tokenize
+from repro.xmlmodel.node import XMLNode
+
+__all__ = ["tf_idf_score", "rank_results"]
+
+
+def _term_frequencies(subtree: XMLNode) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for node in subtree.iter_elements():
+        for token in tokenize(node.tag or ""):
+            counts[token] = counts.get(token, 0) + 1
+        for token in tokenize(node.direct_text()):
+            counts[token] = counts.get(token, 0) + 1
+    return counts
+
+
+def tf_idf_score(
+    subtree: XMLNode,
+    query: KeywordQuery,
+    statistics: CorpusStatistics,
+) -> float:
+    """Score a result subtree against a query.
+
+    ``tf`` is the keyword count inside the subtree (log-dampened), ``idf`` is
+    computed from document frequencies in the corpus statistics, and the final
+    sum is divided by ``log(2 + subtree element count)`` to normalise for size.
+    """
+    frequencies = _term_frequencies(subtree)
+    document_count = max(statistics.document_count, 1)
+    score = 0.0
+    for keyword in query:
+        term_frequency = frequencies.get(keyword, 0)
+        if term_frequency == 0:
+            continue
+        document_frequency = statistics.document_frequency(keyword)
+        idf = math.log((document_count + 1) / (document_frequency + 1)) + 1.0
+        score += (1.0 + math.log(term_frequency)) * idf
+    normaliser = math.log(2 + subtree.count_elements())
+    return score / normaliser if normaliser else score
+
+
+def rank_results(
+    results: Sequence[SearchResult],
+    query: KeywordQuery,
+    statistics: CorpusStatistics,
+) -> List[SearchResult]:
+    """Assign scores and return the results sorted by descending score.
+
+    Ties are broken by (document id, match label) so the ordering is total and
+    deterministic across runs.
+    """
+    for result in results:
+        result.score = tf_idf_score(result.subtree, query, statistics)
+    return sorted(
+        results,
+        key=lambda result: (-result.score, result.doc_id, result.match_label),
+    )

@@ -1,0 +1,112 @@
+"""Search result model.
+
+A search result is the subtree that the return-node inference decided to show
+for one SLCA/ELCA match, together with enough provenance (document id, the
+match node's Dewey label, the matched keywords) for downstream modules — the
+entity identifier, the feature extractor and the comparison table — to do
+their work and for the UI to link back to the source document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.search.query import KeywordQuery
+from repro.xmlmodel.dewey import DeweyLabel
+from repro.xmlmodel.node import XMLNode
+
+__all__ = ["SearchResult", "SearchResultSet"]
+
+
+@dataclass
+class SearchResult:
+    """One result of a keyword query.
+
+    Attributes
+    ----------
+    result_id:
+        Stable identifier, unique within a result set (``"R1"``, ``"R2"``, ...).
+    doc_id:
+        Identifier of the document the result was extracted from.
+    match_label:
+        Dewey label of the SLCA/ELCA match node inside the source document.
+    return_label:
+        Dewey label of the inferred return node (root of the displayed subtree).
+    subtree:
+        A detached copy of the return subtree.  Downstream modules may annotate
+        or prune it without touching the corpus.
+    score:
+        Ranking score (higher is better).
+    title:
+        A short human-readable name for the result (e.g. the product name),
+        filled in by the engine for display purposes.
+    """
+
+    result_id: str
+    doc_id: str
+    match_label: DeweyLabel
+    return_label: DeweyLabel
+    subtree: XMLNode
+    score: float = 0.0
+    title: str = ""
+
+    def element_count(self) -> int:
+        """Number of element nodes in the result subtree."""
+        return self.subtree.count_elements()
+
+    def root_tag(self) -> str:
+        """Tag of the result's root element."""
+        return self.subtree.tag or ""
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchResult(id={self.result_id!r}, doc={self.doc_id!r}, "
+            f"root=<{self.root_tag()}>, score={self.score:.3f})"
+        )
+
+
+@dataclass
+class SearchResultSet:
+    """The ordered list of results returned for one query."""
+
+    query: KeywordQuery
+    results: List[SearchResult] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> SearchResult:
+        return self.results[index]
+
+    def top(self, count: int) -> List[SearchResult]:
+        """Return the first ``count`` results."""
+        return self.results[:count]
+
+    def by_id(self, result_id: str) -> SearchResult:
+        """Return the result with the given id.
+
+        Raises
+        ------
+        KeyError
+            If no result carries that id.
+        """
+        for result in self.results:
+            if result.result_id == result_id:
+                return result
+        raise KeyError(result_id)
+
+    def select(self, result_ids: Sequence[str]) -> List[SearchResult]:
+        """Return the results with the given ids, in the requested order.
+
+        This mirrors the demo UI interaction where the user ticks checkboxes
+        next to the results they want to compare.
+        """
+        return [self.by_id(result_id) for result_id in result_ids]
+
+    def titles(self) -> List[str]:
+        """Return the display titles of all results."""
+        return [result.title for result in self.results]

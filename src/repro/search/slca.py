@@ -1,0 +1,151 @@
+"""Smallest Lowest Common Ancestor (SLCA) computation.
+
+Given one posting list per query keyword, a node is an *LCA match* if its
+subtree contains at least one occurrence of every keyword.  The SLCA semantics
+keeps only the smallest such subtrees: an LCA match is an SLCA iff none of its
+descendants is also an LCA match.  SLCA is the result semantics used by XSeek
+and most XML keyword-search engines, and it is what feeds XSACT with results.
+
+Two algorithms are provided:
+
+* :func:`compute_slca` — the *indexed lookup eager* style algorithm that walks
+  the shortest posting list and, for each of its postings, narrows the
+  candidate by matching against the other lists with binary search.  This is
+  the default used by the search engine.
+* :func:`compute_slca_scan` — a simple *scan eager* algorithm that merges all
+  posting lists in document order.  It is asymptotically worse but trivially
+  correct, and the test suite uses it as an oracle for the indexed algorithm.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.storage.inverted_index import Posting
+from repro.xmlmodel.dewey import DeweyLabel, common_prefix_length
+
+__all__ = ["compute_slca", "compute_slca_scan"]
+
+
+def compute_slca(keyword_postings: Sequence[Sequence[Posting]]) -> List[Posting]:
+    """Return the SLCA nodes for the given per-keyword posting lists.
+
+    The result is a list of :class:`Posting` (document id + Dewey label of the
+    SLCA node) sorted in global document order.  If any keyword has an empty
+    posting list the result is empty (conjunctive semantics).
+    """
+    lists = [sorted(postings) for postings in keyword_postings]
+    if not lists or any(not postings for postings in lists):
+        return []
+    if len(lists) == 1:
+        return _remove_ancestors(lists[0])
+
+    # Work document by document: group every list by doc id first.
+    per_document: Dict[str, List[List[DeweyLabel]]] = defaultdict(lambda: [[] for _ in lists])
+    for list_index, postings in enumerate(lists):
+        for posting in postings:
+            per_document[posting.doc_id][list_index].append(posting.label)
+
+    results: List[Posting] = []
+    for doc_id in sorted(per_document):
+        label_lists = per_document[doc_id]
+        if any(not labels for labels in label_lists):
+            continue
+        slcas = _slca_single_document(label_lists)
+        results.extend(Posting(doc_id=doc_id, label=label) for label in slcas)
+    return results
+
+
+def _slca_single_document(label_lists: List[List[DeweyLabel]]) -> List[DeweyLabel]:
+    """Indexed-lookup-eager SLCA over one document's label lists."""
+    # Drive the computation from the shortest list.
+    shortest_index = min(range(len(label_lists)), key=lambda i: len(label_lists[i]))
+    shortest = label_lists[shortest_index]
+    others = [labels for index, labels in enumerate(label_lists) if index != shortest_index]
+
+    candidates: List[DeweyLabel] = []
+    for label in shortest:
+        candidate = label
+        for other in others:
+            candidate = _closest_lca(candidate, other)
+            if candidate is None:
+                break
+        if candidate is not None:
+            candidates.append(candidate)
+    if not candidates:
+        return []
+    candidates.sort()
+    return [posting.label for posting in _remove_ancestors(
+        [Posting(doc_id="", label=label) for label in candidates]
+    )]
+
+
+def _closest_lca(label: DeweyLabel, other_labels: List[DeweyLabel]) -> Optional[DeweyLabel]:
+    """Return the deepest LCA of ``label`` with any label in the sorted list."""
+    if not other_labels:
+        return None
+    position = bisect_left(other_labels, label)
+    best: Optional[DeweyLabel] = None
+    best_depth = -1
+    for neighbour_index in (position - 1, position):
+        if 0 <= neighbour_index < len(other_labels):
+            lca = label.lca(other_labels[neighbour_index])
+            if lca.depth > best_depth:
+                best = lca
+                best_depth = lca.depth
+    return best
+
+
+def _remove_ancestors(postings: List[Posting]) -> List[Posting]:
+    """Remove postings that are proper ancestors of another posting.
+
+    Assumes the input is sorted; in document order an ancestor immediately
+    precedes its descendants, so a single linear pass suffices.
+    """
+    result: List[Posting] = []
+    for posting in sorted(set(postings)):
+        while result and _is_ancestor_posting(result[-1], posting):
+            result.pop()
+        result.append(posting)
+    # A second pass is unnecessary: ancestors always sort before descendants.
+    return result
+
+
+def _is_ancestor_posting(a: Posting, b: Posting) -> bool:
+    return a.doc_id == b.doc_id and a.label.is_ancestor_of(b.label)
+
+
+def compute_slca_scan(keyword_postings: Sequence[Sequence[Posting]]) -> List[Posting]:
+    """Brute-force SLCA used as a correctness oracle in tests.
+
+    Enumerates every combination-free LCA candidate by intersecting ancestor
+    sets: a node is an LCA match iff for every keyword list some posting lies
+    in its subtree.  Quadratic in the posting sizes, so only suitable for small
+    corpora, but independent of the optimised algorithm's logic.
+    """
+    lists = [list(postings) for postings in keyword_postings]
+    if not lists or any(not postings for postings in lists):
+        return []
+
+    # Candidate LCAs: every ancestor-or-self of every posting of the first list.
+    candidates: set = set()
+    for posting in lists[0]:
+        candidates.add(posting)
+        for ancestor in posting.label.ancestors():
+            candidates.add(Posting(doc_id=posting.doc_id, label=ancestor))
+
+    def contains_keyword(candidate: Posting, postings: List[Posting]) -> bool:
+        return any(
+            posting.doc_id == candidate.doc_id
+            and candidate.label.is_ancestor_or_self_of(posting.label)
+            for posting in postings
+        )
+
+    lca_matches = [
+        candidate
+        for candidate in candidates
+        if all(contains_keyword(candidate, postings) for postings in lists)
+    ]
+    return _remove_ancestors(lca_matches)

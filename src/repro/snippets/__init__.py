@@ -1,0 +1,15 @@
+"""Query-biased snippet generation (the eXtract-style baseline).
+
+The paper contrasts XSACT with result snippets "as supported by every web
+search engine and some structured data search engines", citing eXtract [2]:
+snippets highlight the most frequently occurring information in each result,
+but because they are generated per result in isolation they are "generally not
+comparable".  This package reproduces that baseline so the comparison can be
+measured: a snippet is a small set of features chosen by a blend of occurrence
+frequency and query relevance, independently per result, and the experiments
+report the DoD achieved by snippets next to the DoD achieved by XSACT's DFSs.
+"""
+
+from repro.snippets.extract import Snippet, SnippetGenerator, snippet_dod
+
+__all__ = ["Snippet", "SnippetGenerator", "snippet_dod"]

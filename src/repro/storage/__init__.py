@@ -1,0 +1,34 @@
+"""Storage substrate: document store, inverted index and corpus statistics.
+
+XSACT sits on top of a keyword search engine for structured data (XSeek in the
+paper).  That engine needs three storage-level services, all provided here:
+
+* :class:`~repro.storage.document_store.DocumentStore` — an in-memory corpus of
+  XML documents addressable by id, with optional persistence to a directory of
+  ``.xml`` files.
+* :class:`~repro.storage.inverted_index.InvertedIndex` — keyword → posting-list
+  index, where each posting identifies a node by ``(document id, Dewey label)``;
+  this is the structure the SLCA / ELCA algorithms consume.
+* :class:`~repro.storage.statistics.CorpusStatistics` — tag-path and keyword
+  frequency summaries (a DataGuide-style structural summary) used by ranking and
+  by the entity classifier.
+"""
+
+from repro.storage.document_store import DocumentStore, StoredDocument
+from repro.storage.inverted_index import InvertedIndex, Posting
+from repro.storage.statistics import CorpusStatistics, PathSummary
+from repro.storage.tokenizer import STOPWORDS, tokenize
+
+from repro.storage.corpus import Corpus
+
+__all__ = [
+    "DocumentStore",
+    "StoredDocument",
+    "InvertedIndex",
+    "Posting",
+    "CorpusStatistics",
+    "PathSummary",
+    "Corpus",
+    "tokenize",
+    "STOPWORDS",
+]

@@ -1,0 +1,52 @@
+"""The :class:`Corpus` convenience bundle.
+
+A corpus ties together the three storage-layer pieces that the search engine
+and the experiments always use together: the document store, its inverted
+index and its statistics.  Building the index and statistics eagerly keeps the
+rest of the code free of "is the index stale?" bookkeeping — dataset generators
+produce a store, wrap it in a corpus once, and hand the corpus around.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.storage.document_store import DocumentStore
+from repro.storage.inverted_index import InvertedIndex
+from repro.storage.statistics import CorpusStatistics
+
+__all__ = ["Corpus"]
+
+
+class Corpus:
+    """A document store together with its inverted index and statistics."""
+
+    def __init__(self, store: DocumentStore, name: str = "corpus"):
+        self.name = name
+        self.store = store
+        self.index = InvertedIndex.build(store)
+        self.statistics = CorpusStatistics.build(store)
+
+    @classmethod
+    def from_directory(cls, directory: Union[str, Path], name: Optional[str] = None) -> "Corpus":
+        """Load a corpus from a directory of ``.xml`` files."""
+        store = DocumentStore.load_from_directory(directory)
+        return cls(store, name=name or Path(directory).name)
+
+    def refresh(self) -> None:
+        """Rebuild the index and statistics after the store was modified."""
+        self.index = InvertedIndex.build(self.store)
+        self.statistics = CorpusStatistics.build(self.store)
+
+    def describe(self) -> Dict[str, float]:
+        """Return a small summary dictionary (used by reports and examples)."""
+        return {
+            "documents": float(len(self.store)),
+            "elements": float(self.store.total_elements()),
+            "distinct_terms": float(len(self.index)),
+            "avg_elements_per_document": self.statistics.average_document_elements,
+        }
+
+    def __repr__(self) -> str:
+        return f"Corpus(name={self.name!r}, documents={len(self.store)})"

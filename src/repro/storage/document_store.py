@@ -1,0 +1,149 @@
+"""In-memory XML document store with directory persistence.
+
+The store is the system's corpus abstraction: dataset generators write
+documents into it, the indexer reads them back, and search results refer to
+nodes inside stored documents by ``(doc_id, DeweyLabel)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import DocumentNotFoundError, StorageError
+from repro.xmlmodel.dewey import DeweyLabel
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.parser import parse_xml_file
+from repro.xmlmodel.serializer import to_pretty_xml
+
+__all__ = ["StoredDocument", "DocumentStore"]
+
+
+@dataclass
+class StoredDocument:
+    """A document held by the store.
+
+    Attributes
+    ----------
+    doc_id:
+        Stable identifier, unique within the store.
+    root:
+        Root element of the document tree.
+    metadata:
+        Free-form key/value annotations (e.g. the dataset name and the source
+        URL that the paper's real datasets would carry).
+    """
+
+    doc_id: str
+    root: XMLNode
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def node_at(self, label: DeweyLabel) -> XMLNode:
+        """Return the node of this document at the given Dewey label."""
+        return self.root.node_at(label)
+
+    def element_count(self) -> int:
+        """Number of element nodes in the document."""
+        return self.root.count_elements()
+
+
+class DocumentStore:
+    """An ordered collection of XML documents addressable by id."""
+
+    def __init__(self) -> None:
+        self._documents: Dict[str, StoredDocument] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, doc_id: str, root: XMLNode, metadata: Optional[Dict[str, str]] = None) -> StoredDocument:
+        """Add a document; raises :class:`StorageError` on duplicate ids."""
+        if doc_id in self._documents:
+            raise StorageError(f"duplicate document id: {doc_id!r}")
+        if not root.is_element:
+            raise StorageError("document root must be an element node")
+        document = StoredDocument(doc_id=doc_id, root=root, metadata=dict(metadata or {}))
+        self._documents[doc_id] = document
+        return document
+
+    def remove(self, doc_id: str) -> None:
+        """Remove a document; raises :class:`DocumentNotFoundError` if missing."""
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(doc_id)
+        del self._documents[doc_id]
+
+    def clear(self) -> None:
+        """Remove every document."""
+        self._documents.clear()
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def get(self, doc_id: str) -> StoredDocument:
+        """Return the document with the given id.
+
+        Raises
+        ------
+        DocumentNotFoundError
+            If the id is unknown.
+        """
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise DocumentNotFoundError(doc_id) from None
+
+    def node_at(self, doc_id: str, label: DeweyLabel) -> XMLNode:
+        """Return the node identified by ``(doc_id, label)``."""
+        return self.get(doc_id).node_at(label)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[StoredDocument]:
+        return iter(self._documents.values())
+
+    def document_ids(self) -> List[str]:
+        """Return the document ids in insertion order."""
+        return list(self._documents)
+
+    def total_elements(self) -> int:
+        """Total number of element nodes across all documents."""
+        return sum(doc.element_count() for doc in self)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save_to_directory(self, directory: Union[str, Path]) -> List[Path]:
+        """Write each document as ``<doc_id>.xml`` into ``directory``.
+
+        Returns the list of written paths.  Existing files are overwritten.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        for document in self:
+            path = target / f"{document.doc_id}.xml"
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(to_pretty_xml(document.root))
+                handle.write("\n")
+            written.append(path)
+        return written
+
+    @classmethod
+    def load_from_directory(cls, directory: Union[str, Path]) -> "DocumentStore":
+        """Load every ``*.xml`` file in ``directory`` into a new store.
+
+        The file stem becomes the document id; files are loaded in sorted
+        order so the resulting store is deterministic.
+        """
+        source = Path(directory)
+        if not source.is_dir():
+            raise StorageError(f"not a directory: {source}")
+        store = cls()
+        for path in sorted(source.glob("*.xml")):
+            store.add(path.stem, parse_xml_file(path), metadata={"source_file": str(path)})
+        return store

@@ -1,0 +1,152 @@
+"""Keyword inverted index over a :class:`~repro.storage.document_store.DocumentStore`.
+
+Each keyword maps to a posting list of ``(doc_id, DeweyLabel)`` pairs sorted in
+document order.  A node is posted for a keyword when the keyword appears in the
+node's own tag name or in its *direct* text; ancestor matches are implied by the
+Dewey labels and are resolved by the SLCA / ELCA algorithms rather than stored,
+which keeps the index linear in corpus size (the classic XML keyword-search
+index layout).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import IndexError_
+from repro.storage.document_store import DocumentStore
+from repro.storage.tokenizer import tokenize
+from repro.xmlmodel.dewey import DeweyLabel
+from repro.xmlmodel.node import XMLNode
+
+__all__ = ["Posting", "InvertedIndex"]
+
+
+@dataclass(frozen=True, order=True)
+class Posting:
+    """A single posting: a node occurrence of a keyword.
+
+    Postings order by ``(doc_id, label)``, i.e. document order within a
+    document and lexicographic document-id order across documents.
+    """
+
+    doc_id: str
+    label: DeweyLabel
+
+
+class InvertedIndex:
+    """Keyword → posting list index with frequency statistics."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[Posting]] = {}
+        self._document_frequency: Dict[str, int] = {}
+        self._documents_indexed = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, store: DocumentStore) -> "InvertedIndex":
+        """Index every document currently in ``store``."""
+        index = cls()
+        for document in store:
+            index.add_document(document.doc_id, document.root)
+        return index
+
+    def add_document(self, doc_id: str, root: XMLNode) -> None:
+        """Index a single document tree."""
+        seen_terms: set = set()
+        for node in root.iter_elements():
+            terms = self._node_terms(node)
+            for term in terms:
+                posting = Posting(doc_id=doc_id, label=node.label)
+                bucket = self._postings.setdefault(term, [])
+                insort(bucket, posting)
+                seen_terms.add(term)
+        for term in seen_terms:
+            self._document_frequency[term] = self._document_frequency.get(term, 0) + 1
+        self._documents_indexed += 1
+
+    @staticmethod
+    def _node_terms(node: XMLNode) -> set:
+        terms = set(tokenize(node.tag or ""))
+        direct = node.direct_text()
+        if direct:
+            terms.update(tokenize(direct))
+        for value in node.attributes.values():
+            terms.update(tokenize(value))
+        return terms
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def postings(self, keyword: str) -> List[Posting]:
+        """Return the posting list for a keyword (tokenised first)."""
+        tokens = tokenize(keyword)
+        if not tokens:
+            return []
+        if len(tokens) > 1:
+            raise IndexError_(f"postings() expects a single keyword, got {keyword!r}")
+        return list(self._postings.get(tokens[0], []))
+
+    def postings_for_document(self, keyword: str, doc_id: str) -> List[Posting]:
+        """Return the postings of a keyword restricted to one document."""
+        return [posting for posting in self.postings(keyword) if posting.doc_id == doc_id]
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of documents containing the keyword at least once."""
+        tokens = tokenize(keyword)
+        if not tokens:
+            return 0
+        return self._document_frequency.get(tokens[0], 0)
+
+    def collection_frequency(self, keyword: str) -> int:
+        """Total number of node postings of the keyword across the corpus."""
+        tokens = tokenize(keyword)
+        if not tokens:
+            return 0
+        return len(self._postings.get(tokens[0], []))
+
+    def vocabulary(self) -> List[str]:
+        """Return the indexed terms in sorted order."""
+        return sorted(self._postings)
+
+    @property
+    def documents_indexed(self) -> int:
+        """Number of documents added to the index."""
+        return self._documents_indexed
+
+    def __contains__(self, keyword: str) -> bool:
+        tokens = tokenize(keyword)
+        return bool(tokens) and tokens[0] in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    # ------------------------------------------------------------------ #
+    # Query-side helpers used by the search algorithms
+    # ------------------------------------------------------------------ #
+    def keyword_node_lists(self, keywords: Iterable[str]) -> List[List[Posting]]:
+        """Return one posting list per query keyword, preserving query order.
+
+        Keywords that tokenise to nothing are dropped; a keyword that is absent
+        from the corpus yields an empty list, which the caller interprets as an
+        empty result set (conjunctive keyword semantics).
+        """
+        lists: List[List[Posting]] = []
+        for keyword in keywords:
+            for token in tokenize(keyword):
+                lists.append(list(self._postings.get(token, [])))
+        return lists
+
+    def documents_containing_all(self, keywords: Iterable[str]) -> List[str]:
+        """Return ids of documents containing every query keyword."""
+        doc_sets: List[set] = []
+        for keyword in keywords:
+            for token in tokenize(keyword):
+                doc_sets.append({posting.doc_id for posting in self._postings.get(token, [])})
+        if not doc_sets:
+            return []
+        common = set.intersection(*doc_sets) if doc_sets else set()
+        return sorted(common)

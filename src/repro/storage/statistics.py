@@ -1,0 +1,175 @@
+"""Corpus statistics: a DataGuide-style structural summary plus term statistics.
+
+Two consumers need these statistics:
+
+* the entity classifier (:mod:`repro.entity`) decides whether a tag denotes an
+  entity by looking at how often nodes with that tag occur as repeating
+  siblings, which is a per-path aggregate computed here;
+* the ranking module (:mod:`repro.search.ranking`) needs document frequencies
+  and average document sizes for TF-IDF style scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.storage.document_store import DocumentStore
+from repro.storage.tokenizer import tokenize
+from repro.xmlmodel.node import XMLNode
+
+__all__ = ["PathSummary", "CorpusStatistics"]
+
+
+@dataclass
+class PathSummary:
+    """Aggregate information about one root-to-node tag path.
+
+    Attributes
+    ----------
+    path:
+        Tuple of tags from the document root down to the summarised nodes.
+    count:
+        Number of nodes in the corpus with this path.
+    max_siblings:
+        The largest number of same-tag siblings observed among nodes with this
+        path — greater than one indicates a repeating (``*``) node in DTD terms,
+        the signal XSeek uses to recognise entities.
+    leaf_count:
+        How many of the nodes with this path are leaf elements.
+    distinct_values:
+        Number of distinct leaf text values observed (capped during collection).
+    """
+
+    path: Tuple[str, ...]
+    count: int = 0
+    max_siblings: int = 1
+    leaf_count: int = 0
+    distinct_values: int = 0
+
+    @property
+    def tag(self) -> str:
+        """The tag of the summarised nodes (last step of the path)."""
+        return self.path[-1]
+
+    @property
+    def is_repeating(self) -> bool:
+        """Whether nodes on this path ever repeat under one parent."""
+        return self.max_siblings > 1
+
+    @property
+    def leaf_fraction(self) -> float:
+        """Fraction of nodes with this path that are leaf elements."""
+        return self.leaf_count / self.count if self.count else 0.0
+
+
+class CorpusStatistics:
+    """Structural and term statistics over a document store."""
+
+    _MAX_TRACKED_VALUES = 1000
+
+    def __init__(self) -> None:
+        self._paths: Dict[Tuple[str, ...], PathSummary] = {}
+        self._path_values: Dict[Tuple[str, ...], set] = {}
+        self._term_document_frequency: Dict[str, int] = {}
+        self._document_count = 0
+        self._total_elements = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, store: DocumentStore) -> "CorpusStatistics":
+        """Collect statistics over every document in ``store``."""
+        stats = cls()
+        for document in store:
+            stats.add_document(document.root)
+        return stats
+
+    def add_document(self, root: XMLNode) -> None:
+        """Fold one document tree into the statistics."""
+        self._document_count += 1
+        document_terms: set = set()
+        self._visit(root, (), document_terms)
+        for term in document_terms:
+            self._term_document_frequency[term] = self._term_document_frequency.get(term, 0) + 1
+
+    def _visit(self, node: XMLNode, parent_path: Tuple[str, ...], document_terms: set) -> None:
+        if not node.is_element:
+            return
+        path = parent_path + (node.tag,)
+        summary = self._paths.get(path)
+        if summary is None:
+            summary = PathSummary(path=path)
+            self._paths[path] = summary
+            self._path_values[path] = set()
+        summary.count += 1
+        self._total_elements += 1
+        if node.is_leaf_element:
+            summary.leaf_count += 1
+            value = node.direct_text()
+            values = self._path_values[path]
+            if value and len(values) < self._MAX_TRACKED_VALUES:
+                values.add(value)
+            summary.distinct_values = len(values)
+        document_terms.update(tokenize(node.tag or ""))
+        document_terms.update(tokenize(node.direct_text()))
+
+        # Sibling repetition: group the element children by tag.
+        tag_counts: Dict[str, int] = {}
+        for child in node.element_children():
+            tag_counts[child.tag] = tag_counts.get(child.tag, 0) + 1
+        for child_tag, sibling_count in tag_counts.items():
+            child_path = path + (child_tag,)
+            child_summary = self._paths.get(child_path)
+            if child_summary is None:
+                child_summary = PathSummary(path=child_path)
+                self._paths[child_path] = child_summary
+                self._path_values[child_path] = set()
+            child_summary.max_siblings = max(child_summary.max_siblings, sibling_count)
+
+        for child in node.element_children():
+            self._visit(child, path, document_terms)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def path_summary(self, path: Tuple[str, ...]) -> Optional[PathSummary]:
+        """Return the summary for an exact root-to-node tag path."""
+        return self._paths.get(tuple(path))
+
+    def summaries_for_tag(self, tag: str) -> List[PathSummary]:
+        """Return every path summary whose last step is ``tag``."""
+        return [summary for summary in self._paths.values() if summary.tag == tag]
+
+    def tag_is_repeating(self, tag: str) -> bool:
+        """Whether nodes with this tag repeat under a single parent anywhere."""
+        return any(summary.is_repeating for summary in self.summaries_for_tag(tag))
+
+    def iter_paths(self) -> Iterator[PathSummary]:
+        """Iterate over every path summary."""
+        return iter(self._paths.values())
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing the (tokenised) term."""
+        tokens = tokenize(term)
+        if not tokens:
+            return 0
+        return self._term_document_frequency.get(tokens[0], 0)
+
+    @property
+    def document_count(self) -> int:
+        """Number of documents summarised."""
+        return self._document_count
+
+    @property
+    def total_elements(self) -> int:
+        """Total element nodes summarised."""
+        return self._total_elements
+
+    @property
+    def average_document_elements(self) -> float:
+        """Mean number of element nodes per document."""
+        if not self._document_count:
+            return 0.0
+        return self._total_elements / self._document_count

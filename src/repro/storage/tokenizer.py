@@ -1,0 +1,68 @@
+"""Keyword tokenisation shared by the index, the query model and ranking.
+
+Tokenisation must be identical on the indexing and the query side, otherwise
+keyword matches are silently lost, so both sides import :func:`tokenize` from
+this module.  The rules are the usual ones for keyword search over product-style
+data: lowercase, split on non-alphanumerics, keep digits (model numbers such as
+"630" matter), drop single-character tokens and a small stopword list.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List
+
+__all__ = ["tokenize", "STOPWORDS"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+STOPWORDS: FrozenSet[str] = frozenset(
+    {
+        "a",
+        "an",
+        "and",
+        "are",
+        "as",
+        "at",
+        "be",
+        "by",
+        "for",
+        "from",
+        "in",
+        "is",
+        "it",
+        "of",
+        "on",
+        "or",
+        "the",
+        "to",
+        "with",
+    }
+)
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
+    """Split ``text`` into search tokens.
+
+    Parameters
+    ----------
+    text:
+        Arbitrary text (element tag, text value or user query).
+    drop_stopwords:
+        Whether to remove the stopword list.  Queries and documents must use
+        the same setting; both default to ``True``.
+
+    Returns
+    -------
+    list of str
+        Lowercased tokens in order of appearance (duplicates preserved).
+    """
+    tokens = _TOKEN_PATTERN.findall(text.lower())
+    result = []
+    for token in tokens:
+        if len(token) < 2 and not token.isdigit():
+            continue
+        if drop_stopwords and token in STOPWORDS:
+            continue
+        result.append(token)
+    return result

@@ -1,0 +1,35 @@
+"""Query workloads used by the experiments.
+
+The Figure 4 evaluation runs eight keyword queries, QM1-QM8, over the IMDB
+movie corpus; the demo scenarios use product and outdoor-retailer queries.
+Workload definitions (query strings, per-query DFS parameters) live in
+:mod:`~repro.workloads.queries`; :mod:`~repro.workloads.runner` executes a
+workload end to end (search → feature extraction → DFS generation for every
+algorithm under test) and produces the measurement records the figure and
+ablation harnesses consume.
+"""
+
+from repro.workloads.queries import (
+    IMDB_QUERIES,
+    OUTDOOR_QUERIES,
+    PRODUCT_QUERIES,
+    QuerySpec,
+    Workload,
+    imdb_workload,
+    outdoor_workload,
+    product_reviews_workload,
+)
+from repro.workloads.runner import QueryMeasurement, WorkloadRunner
+
+__all__ = [
+    "QuerySpec",
+    "Workload",
+    "IMDB_QUERIES",
+    "PRODUCT_QUERIES",
+    "OUTDOOR_QUERIES",
+    "imdb_workload",
+    "product_reviews_workload",
+    "outdoor_workload",
+    "QueryMeasurement",
+    "WorkloadRunner",
+]

@@ -1,0 +1,195 @@
+"""Dewey labels for XML nodes.
+
+A Dewey label encodes the path from the document root to a node as a tuple of
+child offsets, e.g. the third child of the root's first child has the label
+``(0, 2)``.  Dewey labels give three properties the search substrate depends on:
+
+* ancestor / descendant tests are prefix tests,
+* the lowest common ancestor of two nodes is the longest common prefix of their
+  labels,
+* document order is the lexicographic order of labels.
+
+These are exactly the operations used by the SLCA and ELCA keyword-search
+algorithms in :mod:`repro.search`.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import DeweyError
+
+__all__ = ["DeweyLabel", "common_ancestor_label", "common_prefix_length"]
+
+
+@total_ordering
+class DeweyLabel:
+    """An immutable Dewey label.
+
+    Parameters
+    ----------
+    components:
+        The child offsets from the root.  The root itself has the empty label.
+
+    Examples
+    --------
+    >>> a = DeweyLabel((0, 1, 2))
+    >>> b = DeweyLabel.parse("0.1")
+    >>> b.is_ancestor_of(a)
+    True
+    >>> a.lca(DeweyLabel((0, 1, 5, 0)))
+    DeweyLabel('0.1')
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Iterable[int] = ()):  # noqa: D107
+        comps = tuple(int(c) for c in components)
+        for c in comps:
+            if c < 0:
+                raise DeweyError(f"negative Dewey component: {c}")
+        self._components = comps
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def root(cls) -> "DeweyLabel":
+        """Return the label of a document root (the empty label)."""
+        return cls(())
+
+    @classmethod
+    def parse(cls, text: str) -> "DeweyLabel":
+        """Parse a dotted representation such as ``"0.3.1"``.
+
+        The empty string parses to the root label.
+        """
+        if text == "":
+            return cls(())
+        try:
+            return cls(int(part) for part in text.split("."))
+        except ValueError as exc:
+            raise DeweyError(f"malformed Dewey label: {text!r}") from exc
+
+    def child(self, offset: int) -> "DeweyLabel":
+        """Return the label of this node's ``offset``-th child."""
+        if offset < 0:
+            raise DeweyError(f"negative child offset: {offset}")
+        return DeweyLabel(self._components + (offset,))
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def components(self) -> Tuple[int, ...]:
+        """The tuple of child offsets from the root."""
+        return self._components
+
+    @property
+    def depth(self) -> int:
+        """Number of edges between the root and this node."""
+        return len(self._components)
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this is the root label."""
+        return not self._components
+
+    def parent(self) -> "DeweyLabel":
+        """Return the parent label.
+
+        Raises
+        ------
+        DeweyError
+            If called on the root label.
+        """
+        if not self._components:
+            raise DeweyError("the root label has no parent")
+        return DeweyLabel(self._components[:-1])
+
+    def ancestors(self) -> Iterator["DeweyLabel"]:
+        """Yield every proper ancestor label, from the root downwards."""
+        for length in range(len(self._components)):
+            yield DeweyLabel(self._components[:length])
+
+    # ------------------------------------------------------------------ #
+    # Relationships
+    # ------------------------------------------------------------------ #
+    def is_ancestor_of(self, other: "DeweyLabel") -> bool:
+        """Return ``True`` if ``self`` is a *proper* ancestor of ``other``."""
+        mine, theirs = self._components, other._components
+        return len(mine) < len(theirs) and theirs[: len(mine)] == mine
+
+    def is_descendant_of(self, other: "DeweyLabel") -> bool:
+        """Return ``True`` if ``self`` is a *proper* descendant of ``other``."""
+        return other.is_ancestor_of(self)
+
+    def is_ancestor_or_self_of(self, other: "DeweyLabel") -> bool:
+        """Return ``True`` if ``self`` is ``other`` or an ancestor of it."""
+        return self == other or self.is_ancestor_of(other)
+
+    def lca(self, other: "DeweyLabel") -> "DeweyLabel":
+        """Return the lowest common ancestor label of ``self`` and ``other``."""
+        length = common_prefix_length(self._components, other._components)
+        return DeweyLabel(self._components[:length])
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeweyLabel):
+            return NotImplemented
+        return self._components == other._components
+
+    def __lt__(self, other: "DeweyLabel") -> bool:
+        if not isinstance(other, DeweyLabel):
+            return NotImplemented
+        return self._components < other._components
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._components)
+
+    def __getitem__(self, index):
+        return self._components[index]
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self._components)
+
+    def __repr__(self) -> str:
+        return f"DeweyLabel('{self}')"
+
+
+def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
+    """Return the length of the longest common prefix of two sequences."""
+    limit = min(len(a), len(b))
+    length = 0
+    while length < limit and a[length] == b[length]:
+        length += 1
+    return length
+
+
+def common_ancestor_label(labels: Iterable[DeweyLabel]) -> DeweyLabel:
+    """Return the lowest common ancestor label of a non-empty collection.
+
+    Raises
+    ------
+    DeweyError
+        If ``labels`` is empty.
+    """
+    iterator = iter(labels)
+    try:
+        current = next(iterator)
+    except StopIteration:
+        raise DeweyError("cannot take the LCA of an empty collection") from None
+    for label in iterator:
+        current = current.lca(label)
+        if current.is_root:
+            break
+    return current

@@ -1,0 +1,72 @@
+"""Serialisation of :class:`~repro.xmlmodel.node.XMLNode` trees back to XML text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlmodel.node import XMLNode
+
+__all__ = ["serialize", "to_pretty_xml", "escape_text", "escape_attribute"]
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for inclusion in element content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for inclusion in a double-quoted attribute value."""
+    return escape_text(text).replace('"', "&quot;")
+
+
+def serialize(node: XMLNode) -> str:
+    """Serialise a subtree to a compact, single-line XML string."""
+    parts: List[str] = []
+    _write_compact(node, parts)
+    return "".join(parts)
+
+
+def to_pretty_xml(node: XMLNode, indent: str = "  ") -> str:
+    """Serialise a subtree with one element per line and the given indent."""
+    parts: List[str] = []
+    _write_pretty(node, parts, indent, 0)
+    return "\n".join(parts)
+
+
+def _start_tag(node: XMLNode, self_closing: bool) -> str:
+    attributes = "".join(
+        f' {name}="{escape_attribute(value)}"' for name, value in node.attributes.items()
+    )
+    closer = "/>" if self_closing else ">"
+    return f"<{node.tag}{attributes}{closer}"
+
+
+def _write_compact(node: XMLNode, parts: List[str]) -> None:
+    if node.is_text:
+        parts.append(escape_text(node.text or ""))
+        return
+    if not node.children:
+        parts.append(_start_tag(node, self_closing=True))
+        return
+    parts.append(_start_tag(node, self_closing=False))
+    for child in node.children:
+        _write_compact(child, parts)
+    parts.append(f"</{node.tag}>")
+
+
+def _write_pretty(node: XMLNode, parts: List[str], indent: str, depth: int) -> None:
+    pad = indent * depth
+    if node.is_text:
+        parts.append(f"{pad}{escape_text(node.text or '')}")
+        return
+    if not node.children:
+        parts.append(f"{pad}{_start_tag(node, self_closing=True)}")
+        return
+    if node.is_leaf_element:
+        text = escape_text(node.direct_text())
+        parts.append(f"{pad}{_start_tag(node, self_closing=False)}{text}</{node.tag}>")
+        return
+    parts.append(f"{pad}{_start_tag(node, self_closing=False)}")
+    for child in node.children:
+        _write_pretty(child, parts, indent, depth + 1)
+    parts.append(f"{pad}</{node.tag}>")

@@ -1,0 +1,149 @@
+"""Tests for the command-line interface and the experiment export helpers."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+from repro.experiments.export import read_json, rows_to_dicts, write_csv, write_json
+from repro.experiments.figure4 import Figure4Row
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        arguments = parser.parse_args(["search", "--query", "gps"])
+        assert arguments.command == "search"
+        assert arguments.dataset == "products"
+
+    def test_compare_defaults(self):
+        arguments = build_parser().parse_args(["compare", "--query", "gps"])
+        assert arguments.top == 2
+        assert arguments.size_limit == 5
+        assert arguments.algorithm == "multi_swap"
+        assert arguments.format == "text"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--dataset", "nope", "--query", "x"])
+
+
+class TestCliOnSavedCorpus:
+    @pytest.fixture(scope="class")
+    def corpus_dir(self, tmp_path_factory):
+        # Save the small generated corpus once so CLI runs stay fast.
+        from repro.datasets.product_reviews import ProductReviewsConfig, generate_product_reviews_corpus
+
+        corpus = generate_product_reviews_corpus(
+            ProductReviewsConfig(products_per_category=2, min_reviews=4, max_reviews=10, seed=21)
+        )
+        directory = tmp_path_factory.mktemp("corpus")
+        corpus.store.save_to_directory(directory)
+        return directory
+
+    def test_search_command(self, corpus_dir):
+        out = io.StringIO()
+        code = main(["search", "--corpus-dir", str(corpus_dir), "--query", "gps"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "result(s) for query" in text
+        assert "[R1]" in text
+
+    def test_compare_command_text(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            [
+                "compare",
+                "--corpus-dir",
+                str(corpus_dir),
+                "--query",
+                "gps",
+                "--top",
+                "2",
+                "--size-limit",
+                "4",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "Degree of differentiation" in out.getvalue()
+
+    def test_compare_command_html_to_file(self, corpus_dir, tmp_path):
+        output = tmp_path / "table.html"
+        out = io.StringIO()
+        code = main(
+            [
+                "compare",
+                "--corpus-dir",
+                str(corpus_dir),
+                "--query",
+                "gps",
+                "--format",
+                "html",
+                "--output",
+                str(output),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert output.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+        assert "written to" in out.getvalue()
+
+    def test_error_paths_return_nonzero(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            ["compare", "--corpus-dir", str(corpus_dir), "--query", "zzznotindexed"],
+            out=out,
+        )
+        assert code == 1
+        assert "error:" in out.getvalue()
+
+
+def sample_rows():
+    return [
+        Figure4Row("QM1", 8, 10, 12, 0.01, 0.02),
+        Figure4Row("QM2", 8, 9, 9, 0.015, 0.018),
+    ]
+
+
+class TestExport:
+    def test_rows_to_dicts_accepts_objects_and_mappings(self):
+        dictionaries = rows_to_dicts(sample_rows() + [{"query": "extra", "dod_multi_swap": 1}])
+        assert dictionaries[0]["query"] == "QM1"
+        assert dictionaries[-1]["query"] == "extra"
+        with pytest.raises(ExperimentError):
+            rows_to_dicts([object()])
+
+    def test_write_csv_round_trip(self, tmp_path):
+        path = write_csv(sample_rows(), tmp_path / "figure4.csv")
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert lines[0].startswith("query,")
+        assert len(lines) == 3
+
+    def test_write_csv_rejects_empty(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_csv([], tmp_path / "empty.csv")
+
+    def test_write_and_read_json(self, tmp_path):
+        path = write_json(sample_rows(), tmp_path / "figure4.json")
+        rows = read_json(path)
+        assert len(rows) == 2
+        assert rows[0]["query"] == "QM1"
+
+    def test_read_json_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}), encoding="utf-8")
+        with pytest.raises(ExperimentError):
+            read_json(path)
+
+    def test_union_of_keys_in_csv(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = write_csv(rows, tmp_path / "union.csv")
+        header = path.read_text(encoding="utf-8").splitlines()[0]
+        assert header == "a,b"

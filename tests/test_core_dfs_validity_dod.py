@@ -1,0 +1,322 @@
+"""Unit tests for the DFS model, the validity constraint and the DoD objective."""
+
+import pytest
+
+from repro.core.config import DFSConfig
+from repro.core.dfs import DFS, DFSSet
+from repro.core.dod import (
+    differentiable,
+    differentiable_types,
+    pairwise_dod,
+    total_dod,
+    type_gain_against,
+    type_potential_against,
+)
+from repro.core.problem import DFSProblem
+from repro.core.validity import (
+    addable_types,
+    is_valid_selection,
+    removable_types,
+    validate_dfs,
+)
+from repro.errors import DFSConstructionError, InvalidDFSError
+from repro.features.feature import Feature, FeatureType
+from repro.features.statistics import FeatureStatistics, ResultFeatures
+
+
+def row(entity, attribute, value, occurrences, population=20):
+    return FeatureStatistics(
+        feature=Feature(entity, attribute, value),
+        occurrences=occurrences,
+        population=population,
+    )
+
+
+def result_gps1() -> ResultFeatures:
+    """Roughly the statistics of GPS 1 in Figure 1 of the paper."""
+    result = ResultFeatures("R1")
+    result.add(row("product", "name", "TomTom Go 630", 1, 1))
+    result.add(row("review.pro", "easy_to_read", "yes", 10, 11))
+    result.add(row("review.pro", "compact", "yes", 8, 11))
+    result.add(row("review.best_use", "auto", "yes", 6, 11))
+    result.add(row("review", "category", "casual_user", 6, 11))
+    result.add(row("review.pro", "large_screen", "yes", 1, 11))
+    return result
+
+
+def result_gps3() -> ResultFeatures:
+    """Roughly the statistics of GPS 3 in Figure 1 of the paper."""
+    result = ResultFeatures("R3")
+    result.add(row("product", "name", "TomTom Go 730", 1, 1))
+    result.add(row("review.pro", "satellites", "yes", 44, 68))
+    result.add(row("review.pro", "easy_to_setup", "yes", 40, 68))
+    result.add(row("review.pro", "compact", "yes", 38, 68))
+    result.add(row("review.best_use", "routers", "yes", 26, 68))
+    result.add(row("review.pro", "large_screen", "yes", 4, 68))
+    return result
+
+
+class TestDFSConfig:
+    def test_defaults_match_paper(self):
+        config = DFSConfig()
+        assert config.size_limit == 5
+        assert config.threshold_percent == 10.0
+        assert config.threshold_fraction == pytest.approx(0.1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_limit": 0},
+            {"threshold_percent": -1},
+            {"max_rounds": 0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(DFSConstructionError):
+            DFSConfig(**kwargs)
+
+
+class TestDFSContainer:
+    def test_add_and_remove(self):
+        source = result_gps1()
+        dfs = DFS(source)
+        compact = source.get(FeatureType("review.pro", "compact"))
+        dfs.add(compact)
+        assert FeatureType("review.pro", "compact") in dfs
+        assert len(dfs) == 1
+        removed = dfs.remove(FeatureType("review.pro", "compact"))
+        assert removed is compact
+        assert len(dfs) == 0
+
+    def test_add_foreign_row_rejected(self):
+        dfs = DFS(result_gps1())
+        foreign = row("review.pro", "compact", "yes", 3, 5)
+        with pytest.raises(DFSConstructionError):
+            dfs.add(foreign)
+
+    def test_double_add_rejected(self):
+        source = result_gps1()
+        dfs = DFS(source)
+        compact = source.get(FeatureType("review.pro", "compact"))
+        dfs.add(compact)
+        with pytest.raises(DFSConstructionError):
+            dfs.add(compact)
+
+    def test_remove_missing_rejected(self):
+        dfs = DFS(result_gps1())
+        with pytest.raises(DFSConstructionError):
+            dfs.remove(FeatureType("review.pro", "compact"))
+
+    def test_copy_is_independent(self):
+        source = result_gps1()
+        dfs = DFS(source, [source.get(FeatureType("product", "name"))])
+        clone = dfs.copy()
+        clone.remove(FeatureType("product", "name"))
+        assert FeatureType("product", "name") in dfs
+
+    def test_sorted_rows_grouped_by_entity(self):
+        source = result_gps1()
+        dfs = DFS(source, list(source))
+        entities = [row_.feature.entity for row_ in dfs.sorted_rows()]
+        assert entities == sorted(entities)
+
+    def test_dfs_set_lookup_and_replace(self):
+        a = DFS(result_gps1())
+        b = DFS(result_gps3())
+        dfs_set = DFSSet([a, b])
+        assert dfs_set.by_result("R3") is b
+        with pytest.raises(KeyError):
+            dfs_set.by_result("R9")
+        replaced = dfs_set.replace(0, DFS(result_gps1()))
+        assert len(replaced) == 2
+
+    def test_dfs_set_rejects_duplicates_and_empty(self):
+        a = DFS(result_gps1())
+        with pytest.raises(DFSConstructionError):
+            DFSSet([a, DFS(result_gps1())])
+        with pytest.raises(DFSConstructionError):
+            DFSSet([])
+
+
+class TestValidity:
+    def test_top_prefix_is_valid(self):
+        source = result_gps1()
+        selected = {
+            FeatureType("review.pro", "easy_to_read"),
+            FeatureType("review.pro", "compact"),
+        }
+        assert is_valid_selection(source, selected)
+
+    def test_skipping_more_significant_type_is_invalid(self):
+        source = result_gps1()
+        selected = {FeatureType("review.pro", "large_screen")}
+        assert not is_valid_selection(source, selected)
+
+    def test_different_entities_independent(self):
+        source = result_gps1()
+        selected = {
+            FeatureType("product", "name"),
+            FeatureType("review.best_use", "auto"),
+            FeatureType("review.pro", "easy_to_read"),
+        }
+        assert is_valid_selection(source, selected)
+
+    def test_validate_dfs_checks_size_and_order(self):
+        source = result_gps1()
+        valid = DFS(source, [source.get(FeatureType("review.pro", "easy_to_read"))])
+        validate_dfs(valid, size_limit=5)
+
+        invalid = DFS(source, [source.get(FeatureType("review.pro", "large_screen"))])
+        with pytest.raises(InvalidDFSError):
+            validate_dfs(invalid, size_limit=5)
+        with pytest.raises(InvalidDFSError):
+            validate_dfs(valid, size_limit=0)
+
+    def test_addable_types_are_next_most_significant(self):
+        source = result_gps1()
+        dfs = DFS(source, [source.get(FeatureType("review.pro", "easy_to_read"))])
+        addable = {str(row_.feature_type) for row_ in addable_types(dfs)}
+        assert "review.pro.compact" in addable
+        assert "review.pro.large_screen" not in addable
+        assert "product.name" in addable
+
+    def test_removable_types_are_least_significant_selected(self):
+        source = result_gps1()
+        dfs = DFS(
+            source,
+            [
+                source.get(FeatureType("review.pro", "easy_to_read")),
+                source.get(FeatureType("review.pro", "compact")),
+            ],
+        )
+        removable = {str(row_.feature_type) for row_ in removable_types(dfs)}
+        assert removable == {"review.pro.compact"}
+
+    def test_addition_via_addable_preserves_validity(self):
+        source = result_gps3()
+        dfs = DFS(source)
+        for _ in range(4):
+            candidates = addable_types(dfs)
+            assert candidates
+            dfs.add(candidates[0])
+            assert is_valid_selection(source, set(dfs.feature_types()))
+
+
+class TestDifferentiability:
+    def test_paper_rate_example_is_differentiable(self, default_config):
+        # 73% vs 56% differ by more than 10% of the smaller.
+        a = row("review.pro", "compact", "yes", 8, 11)
+        b = row("review.pro", "compact", "yes", 38, 68)
+        assert differentiable(a, b, default_config)
+
+    def test_close_rates_not_differentiable(self, default_config):
+        a = row("review.pro", "compact", "yes", 10, 20)
+        b = row("review.pro", "compact", "yes", 11, 21)  # 50% vs 52.4%
+        assert not differentiable(a, b, default_config)
+
+    def test_value_difference_differentiates(self, default_config):
+        a = row("product", "name", "TomTom Go 630", 1, 1)
+        b = row("product", "name", "TomTom Go 730", 1, 1)
+        assert differentiable(a, b, default_config)
+
+    def test_value_difference_ignored_when_disabled(self):
+        config = DFSConfig(compare_values=False)
+        a = row("product", "name", "TomTom Go 630", 1, 1)
+        b = row("product", "name", "TomTom Go 730", 1, 1)
+        assert not differentiable(a, b, config)
+
+    def test_raw_count_mode(self):
+        config = DFSConfig(use_rates=False)
+        a = row("review.pro", "compact", "yes", 8, 11)
+        b = row("review.pro", "compact", "yes", 38, 68)
+        assert differentiable(a, b, config)
+        c = row("review.pro", "compact", "yes", 10, 100)
+        d = row("review.pro", "compact", "yes", 10, 20)
+        assert not differentiable(c, d, config)
+
+    def test_zero_rate_edge_case(self):
+        config = DFSConfig(compare_values=False)
+        a = row("x", "a", "yes", 1, 1)
+        b = row("x", "a", "yes", 1, 1)
+        assert not differentiable(a, b, config)
+
+    def test_threshold_scaling(self):
+        lenient = DFSConfig(threshold_percent=5.0)
+        strict = DFSConfig(threshold_percent=100.0, compare_values=False)
+        a = row("review.pro", "compact", "yes", 10, 20)   # 50%
+        b = row("review.pro", "compact", "yes", 12, 20)   # 60%
+        assert differentiable(a, b, lenient)
+        assert not differentiable(a, b, strict)
+
+
+class TestDoD:
+    def test_figure1_snippet_dod_is_two(self, default_config):
+        """The snippet DFSs of Figure 1 have DoD 2 (Product:Name and Pro:Compact)."""
+        gps1, gps3 = result_gps1(), result_gps3()
+        d1 = DFS(
+            gps1,
+            [
+                gps1.get(FeatureType("product", "name")),
+                gps1.get(FeatureType("review.pro", "easy_to_read")),
+                gps1.get(FeatureType("review.pro", "compact")),
+                gps1.get(FeatureType("review.best_use", "auto")),
+                gps1.get(FeatureType("review", "category")),
+            ],
+        )
+        d3 = DFS(
+            gps3,
+            [
+                gps3.get(FeatureType("product", "name")),
+                gps3.get(FeatureType("review.pro", "satellites")),
+                gps3.get(FeatureType("review.pro", "easy_to_setup")),
+                gps3.get(FeatureType("review.pro", "compact")),
+                gps3.get(FeatureType("review.best_use", "routers")),
+            ],
+        )
+        assert pairwise_dod(d1, d3, default_config) == 2
+        diff_types = {str(t) for t in differentiable_types(d1, d3, default_config)}
+        assert diff_types == {"product.name", "review.pro.compact"}
+
+    def test_total_dod_sums_pairs(self, default_config):
+        gps1, gps3 = result_gps1(), result_gps3()
+        d1 = DFS(gps1, [gps1.get(FeatureType("product", "name"))])
+        d3 = DFS(gps3, [gps3.get(FeatureType("product", "name"))])
+        assert total_dod(DFSSet([d1, d3]), default_config) == 1
+        assert total_dod([d1, d3], default_config) == 1
+
+    def test_unshared_types_do_not_count(self, default_config):
+        gps1, gps3 = result_gps1(), result_gps3()
+        d1 = DFS(gps1, [gps1.get(FeatureType("review.pro", "easy_to_read"))])
+        d3 = DFS(gps3, [gps3.get(FeatureType("review.pro", "satellites"))])
+        assert pairwise_dod(d1, d3, default_config) == 0
+
+    def test_type_gain_and_potential(self, default_config):
+        gps1, gps3 = result_gps1(), result_gps3()
+        d3 = DFS(gps3, [gps3.get(FeatureType("product", "name"))])
+        name_row = gps1.get(FeatureType("product", "name"))
+        compact_row = gps1.get(FeatureType("review.pro", "compact"))
+        # Gain counts only types selected in the other DFS ...
+        assert type_gain_against(name_row, [d3], default_config) == 1
+        assert type_gain_against(compact_row, [d3], default_config) == 0
+        # ... while potential also sees types merely present in the other source.
+        assert type_potential_against(compact_row, [d3], default_config) == 1
+
+
+class TestProblem:
+    def test_problem_validation(self, default_config):
+        with pytest.raises(DFSConstructionError):
+            DFSProblem(results=[result_gps1()], config=default_config)
+        duplicate = [result_gps1(), result_gps1()]
+        with pytest.raises(DFSConstructionError):
+            DFSProblem(results=duplicate, config=default_config)
+        with pytest.raises(DFSConstructionError):
+            DFSProblem(results=[result_gps1(), ResultFeatures("empty")], config=default_config)
+
+    def test_problem_introspection(self, default_config):
+        problem = DFSProblem(results=[result_gps1(), result_gps3()], config=default_config)
+        assert problem.num_results == 2
+        assert problem.max_feature_types == 6
+        shared = {str(t) for t in problem.shared_feature_types()}
+        assert "product.name" in shared and "review.pro.compact" in shared
+        assert problem.dod_upper_bound() >= 3
+        assert "n=2" in repr(problem)

@@ -1,0 +1,148 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets.imdb import ImdbConfig, generate_imdb_corpus
+from repro.datasets.outdoor_retailer import OutdoorRetailerConfig, generate_outdoor_corpus
+from repro.datasets.product_reviews import ProductReviewsConfig, generate_product_reviews_corpus
+from repro.datasets.vocabulary import MovieVocabulary, OutdoorVocabulary, ProductVocabulary
+from repro.errors import DatasetError
+from repro.search.engine import SearchEngine
+
+
+class TestVocabularies:
+    def test_product_vocabulary_covers_all_categories(self):
+        vocabulary = ProductVocabulary()
+        for category in vocabulary.categories:
+            assert vocabulary.brands[category]
+            assert vocabulary.pros[category]
+            assert vocabulary.cons[category]
+            assert vocabulary.best_uses[category]
+
+    def test_outdoor_vocabulary_covers_all_categories(self):
+        vocabulary = OutdoorVocabulary()
+        for category in vocabulary.categories:
+            assert vocabulary.subcategories[category]
+            assert vocabulary.attributes[category]
+
+    def test_movie_vocabulary_nonempty(self):
+        vocabulary = MovieVocabulary()
+        assert len(vocabulary.genres) == 10
+        assert vocabulary.keywords and vocabulary.first_names and vocabulary.last_names
+
+
+class TestProductReviews:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(DatasetError):
+            ProductReviewsConfig(products_per_category=0)
+        with pytest.raises(DatasetError):
+            ProductReviewsConfig(min_reviews=10, max_reviews=5)
+
+    def test_corpus_shape(self, small_product_corpus):
+        store = small_product_corpus.store
+        assert len(store) == 9  # 3 categories x 3 products
+        for document in store:
+            assert document.root.tag == "product"
+            assert document.root.find_child("name") is not None
+            reviews = document.root.find_child("reviews")
+            assert reviews is not None and len(reviews.element_children()) >= 5
+
+    def test_generation_is_deterministic(self):
+        config = ProductReviewsConfig(products_per_category=1, min_reviews=3, max_reviews=5, seed=3)
+        a = generate_product_reviews_corpus(config)
+        b = generate_product_reviews_corpus(config)
+        from repro.xmlmodel.serializer import serialize
+
+        for doc_a, doc_b in zip(a.store, b.store):
+            assert serialize(doc_a.root) == serialize(doc_b.root)
+
+    def test_review_counts_within_bounds(self, small_product_corpus):
+        for document in small_product_corpus.store:
+            reviews = document.root.find_child("reviews").element_children()
+            assert 5 <= len(reviews) <= 25
+
+    def test_paper_query_keywords_present(self, small_product_corpus):
+        index = small_product_corpus.index
+        assert index.document_frequency("gps") >= 1
+        assert index.document_frequency("tomtom") + index.document_frequency("garmin") >= 1
+
+    def test_searchable_end_to_end(self, small_product_corpus):
+        engine = SearchEngine(small_product_corpus)
+        assert len(engine.search("gps")) >= 2
+
+
+class TestOutdoorRetailer:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(DatasetError):
+            OutdoorRetailerConfig(products_per_brand=0)
+        with pytest.raises(DatasetError):
+            OutdoorRetailerConfig(focus_strength=0.0)
+
+    def test_one_document_per_brand(self, small_outdoor_corpus):
+        vocabulary = OutdoorVocabulary()
+        assert len(small_outdoor_corpus.store) == len(vocabulary.brands)
+        for document in small_outdoor_corpus.store:
+            assert document.root.tag == "brand"
+            items = document.root.find_child("products").element_children()
+            assert len(items) == 20
+
+    def test_brand_focus_skews_subcategories(self):
+        corpus = generate_outdoor_corpus(OutdoorRetailerConfig(products_per_brand=150, focus_strength=0.9, seed=3))
+        document = next(iter(corpus.store))
+        from collections import Counter
+
+        jackets = [
+            item
+            for item in document.root.find_child("products").element_children()
+            if item.find_child("category").direct_text() == "jackets"
+        ]
+        counts = Counter(item.find_child("subcategory").direct_text() for item in jackets)
+        if counts:
+            most_common_share = counts.most_common(1)[0][1] / sum(counts.values())
+            assert most_common_share > 0.5
+
+    def test_demo_query_keywords_present(self, small_outdoor_corpus):
+        index = small_outdoor_corpus.index
+        assert index.document_frequency("jackets") >= 1
+        assert index.document_frequency("men") >= 1
+
+
+class TestImdb:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(DatasetError):
+            ImdbConfig(num_movies=0)
+        with pytest.raises(DatasetError):
+            ImdbConfig(min_cast=5, max_cast=2)
+        with pytest.raises(DatasetError):
+            ImdbConfig(max_awards=-1)
+
+    def test_corpus_shape(self, small_imdb_corpus):
+        assert len(small_imdb_corpus.store) == 120
+        for document in small_imdb_corpus.store:
+            movie = document.root
+            assert movie.tag == "movie"
+            assert movie.find_child("title") is not None
+            assert movie.find_child("genres") is not None
+            cast = movie.find_child("cast")
+            assert cast is not None
+            assert 3 <= len(cast.element_children()) <= 8
+
+    def test_genres_and_keywords_from_vocabulary(self, small_imdb_corpus):
+        vocabulary = MovieVocabulary()
+        document = next(iter(small_imdb_corpus.store))
+        for genre in document.root.find_child("genres").element_children():
+            assert genre.direct_text() in vocabulary.genres
+
+    def test_queries_return_multiple_results(self, small_imdb_corpus):
+        engine = SearchEngine(small_imdb_corpus)
+        for text in ("action revenge", "drama war", "comedy family"):
+            assert len(engine.search(text)) >= 2, text
+
+    def test_deterministic_given_seed(self):
+        config = ImdbConfig(num_movies=5, seed=99)
+        from repro.xmlmodel.serializer import serialize
+
+        a = generate_imdb_corpus(config)
+        b = generate_imdb_corpus(config)
+        for doc_a, doc_b in zip(a.store, b.store):
+            assert serialize(doc_a.root) == serialize(doc_b.root)

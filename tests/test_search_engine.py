@@ -1,0 +1,180 @@
+"""Unit and integration tests for return-node inference, ranking and the engine."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search.engine import SearchEngine
+from repro.search.query import KeywordQuery
+from repro.search.ranking import rank_results, tf_idf_score
+from repro.search.result import SearchResult, SearchResultSet
+from repro.search.xseek import infer_return_subtree, is_entity_node
+from repro.storage.corpus import Corpus
+from repro.storage.document_store import DocumentStore
+from repro.storage.statistics import CorpusStatistics
+from repro.xmlmodel.dewey import DeweyLabel
+from repro.xmlmodel.parser import parse_xml
+
+
+PRODUCT_XML = (
+    "<product><name>TomTom Go 630 GPS</name><price>199</price>"
+    "<reviews>"
+    "<review><review_rating>5</review_rating><pros><compact>yes</compact></pros></review>"
+    "<review><review_rating>3</review_rating><pros><compact>yes</compact></pros></review>"
+    "</reviews></product>"
+)
+
+
+def product_corpus() -> Corpus:
+    store = DocumentStore()
+    store.add("p1", parse_xml(PRODUCT_XML))
+    store.add(
+        "p2",
+        parse_xml(
+            "<product><name>Garmin Nuvi 200 GPS</name><price>149</price>"
+            "<reviews><review><review_rating>4</review_rating></review></reviews></product>"
+        ),
+    )
+    return Corpus(store, name="tiny")
+
+
+class TestXseekInference:
+    def test_leaf_is_not_entity(self):
+        tree = parse_xml(PRODUCT_XML)
+        stats = CorpusStatistics()
+        stats.add_document(tree)
+        assert not is_entity_node(tree.find_child("name"), stats)
+
+    def test_repeating_node_is_entity(self):
+        tree = parse_xml(PRODUCT_XML)
+        stats = CorpusStatistics()
+        stats.add_document(tree)
+        review = tree.find_child("reviews").children[0]
+        assert is_entity_node(review, stats)
+
+    def test_root_with_structured_children_is_entity(self):
+        tree = parse_xml(PRODUCT_XML)
+        assert is_entity_node(tree, None)
+
+    def test_return_subtree_climbs_to_entity(self):
+        tree = parse_xml(PRODUCT_XML)
+        stats = CorpusStatistics()
+        stats.add_document(tree)
+        name_leaf = tree.find_child("name")
+        assert infer_return_subtree(name_leaf, stats) is tree
+
+    def test_return_subtree_stops_at_nested_entity(self):
+        tree = parse_xml(PRODUCT_XML)
+        stats = CorpusStatistics()
+        stats.add_document(tree)
+        rating = tree.find_descendants("review_rating")[0]
+        inferred = infer_return_subtree(rating, stats)
+        assert inferred.tag == "review"
+
+    def test_return_subtree_without_statistics_still_returns_displayable_node(self):
+        tree = parse_xml("<a><b><c>x y</c></b></a>")
+        leaf = tree.find_descendants("c")[0]
+        inferred = infer_return_subtree(leaf, None)
+        assert inferred.tag in {"a", "b", "c"}
+
+    def test_max_climb_bound(self):
+        tree = parse_xml("<a><b><c><d><e>x</e></d></c></b></a>")
+        leaf = tree.find_descendants("e")[0]
+        inferred = infer_return_subtree(leaf, None, max_climb=1)
+        assert inferred.tag in {"d", "e"}
+
+
+class TestRanking:
+    def test_tf_idf_prefers_matching_subtree(self):
+        corpus = product_corpus()
+        query = KeywordQuery.parse("tomtom gps")
+        tomtom = corpus.store.get("p1").root
+        garmin = corpus.store.get("p2").root
+        assert tf_idf_score(tomtom, query, corpus.statistics) > tf_idf_score(
+            garmin, query, corpus.statistics
+        )
+
+    def test_rank_results_orders_by_score_then_id(self):
+        corpus = product_corpus()
+        query = KeywordQuery.parse("gps")
+        results = [
+            SearchResult(
+                result_id="",
+                doc_id=doc_id,
+                match_label=DeweyLabel.root(),
+                return_label=DeweyLabel.root(),
+                subtree=corpus.store.get(doc_id).root.copy(),
+            )
+            for doc_id in ("p2", "p1")
+        ]
+        ranked = rank_results(results, query, corpus.statistics)
+        assert [result.doc_id for result in ranked] in (["p1", "p2"], ["p2", "p1"])
+        assert ranked[0].score >= ranked[1].score
+
+
+class TestSearchEngine:
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(SearchError):
+            SearchEngine(product_corpus(), semantics="bogus")
+
+    def test_search_returns_product_results_with_ids_and_titles(self):
+        engine = SearchEngine(product_corpus())
+        result_set = engine.search("gps")
+        assert isinstance(result_set, SearchResultSet)
+        assert len(result_set) == 2
+        assert [result.result_id for result in result_set] == ["R1", "R2"]
+        assert any("TomTom" in title for title in result_set.titles())
+
+    def test_conjunctive_semantics(self):
+        engine = SearchEngine(product_corpus())
+        assert len(engine.search("tomtom garmin")) == 0
+        assert len(engine.search("tomtom gps")) == 1
+
+    def test_limit_truncates(self):
+        engine = SearchEngine(product_corpus())
+        assert len(engine.search("gps", limit=1)) == 1
+
+    def test_result_subtrees_are_detached_copies(self):
+        engine = SearchEngine(product_corpus())
+        result = engine.search("tomtom gps")[0]
+        assert result.subtree.parent is None
+        result.subtree.find_child("name").children[0].text = "mutated"
+        assert "mutated" not in engine.corpus.store.get("p1").root.text_content()
+
+    def test_string_and_query_inputs_equivalent(self):
+        engine = SearchEngine(product_corpus())
+        a = engine.search("tomtom gps")
+        b = engine.search(KeywordQuery.parse("tomtom gps"))
+        assert [r.doc_id for r in a] == [r.doc_id for r in b]
+
+    def test_elca_semantics_returns_at_least_slca(self):
+        corpus = product_corpus()
+        slca_engine = SearchEngine(corpus, semantics="slca")
+        elca_engine = SearchEngine(corpus, semantics="elca")
+        assert len(elca_engine.search("gps")) >= len(slca_engine.search("gps"))
+
+    def test_select_results_by_id(self):
+        engine = SearchEngine(product_corpus())
+        result_set = engine.search("gps")
+        selected = result_set.select(["R2", "R1"])
+        assert [result.result_id for result in selected] == ["R2", "R1"]
+        with pytest.raises(KeyError):
+            result_set.by_id("R99")
+
+
+class TestSearchOnGeneratedCorpus:
+    def test_tomtom_query_returns_products(self, product_engine):
+        result_set = product_engine.search("tomtom gps")
+        assert len(result_set) >= 1
+        for result in result_set:
+            assert result.root_tag() == "product"
+            assert "tomtom" in result.title.lower()
+
+    def test_results_have_unique_ids_and_descending_scores(self, product_engine):
+        result_set = product_engine.search("gps")
+        ids = [result.result_id for result in result_set]
+        assert len(set(ids)) == len(ids)
+        scores = [result.score for result in result_set]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_missing_keyword_gives_empty_results(self, product_engine):
+        assert len(product_engine.search("zzzunknownkeyword gps")) == 0

@@ -1,0 +1,167 @@
+"""Tests for the snippet baseline, the comparison table and its renderers."""
+
+import pytest
+
+from repro.comparison.render import render_html, render_markdown, render_text
+from repro.comparison.table import ComparisonCell, ComparisonTable
+from repro.core.config import DFSConfig
+from repro.core.dfs import DFS, DFSSet
+from repro.core.generator import DFSGenerator
+from repro.errors import ComparisonError
+from repro.features.feature import Feature, FeatureType
+from repro.features.statistics import FeatureStatistics, ResultFeatures
+from repro.search.query import KeywordQuery
+from repro.snippets.extract import Snippet, SnippetGenerator, snippet_dod
+
+
+def build_result(result_id: str, name: str, compact: int, population: int) -> ResultFeatures:
+    result = ResultFeatures(result_id)
+    result.add(FeatureStatistics(Feature("product", "name", name), 1, 1))
+    result.add(FeatureStatistics(Feature("product", "price", f"{100 + compact}"), 1, 1))
+    result.add(
+        FeatureStatistics(Feature("review.pro", "compact", "yes"), compact, population)
+    )
+    result.add(
+        FeatureStatistics(Feature("review.pro", "easy_to_read", "yes"), max(compact - 2, 1), population)
+    )
+    return result
+
+
+class TestSnippetGenerator:
+    def test_snippet_respects_size_limit(self):
+        features = build_result("R1", "TomTom", 8, 11)
+        snippet = SnippetGenerator(size_limit=2).generate(features)
+        assert len(snippet) <= 2
+        assert isinstance(snippet, Snippet)
+
+    def test_snippet_prefers_frequent_features(self):
+        features = build_result("R1", "TomTom", 9, 11)
+        snippet = SnippetGenerator(size_limit=1).generate(features)
+        assert snippet.rows[0].feature.attribute == "compact"
+
+    def test_query_bias_pulls_in_matching_features(self):
+        features = build_result("R1", "TomTom Go 630", 9, 11)
+        query = KeywordQuery.parse("tomtom")
+        biased = SnippetGenerator(size_limit=2, query_weight=50.0).generate(features, query)
+        attributes = {row.feature.attribute for row in biased.rows}
+        assert "name" in attributes
+
+    def test_snippet_as_dfs_is_valid_selection(self):
+        from repro.core.validity import is_valid_selection
+
+        features = build_result("R1", "TomTom", 8, 11)
+        snippet = SnippetGenerator(size_limit=3).generate(features)
+        dfs = snippet.as_dfs(features)
+        assert is_valid_selection(features, set(dfs.feature_types()))
+
+    def test_snippet_dod_is_dominated_by_xsact(self):
+        results = [
+            build_result("R1", "TomTom Go 630", 8, 11),
+            build_result("R2", "Garmin Nuvi 200", 4, 10),
+        ]
+        config = DFSConfig(size_limit=3)
+        baseline = snippet_dod(results, config=config)
+        xsact = DFSGenerator(config).generate(results, algorithm="multi_swap").dod
+        assert xsact >= baseline
+
+    def test_generate_all_returns_one_snippet_per_result(self):
+        results = [build_result("R1", "A", 5, 10), build_result("R2", "B", 6, 10)]
+        snippets = SnippetGenerator().generate_all(results)
+        assert [snippet.result_id for snippet in snippets] == ["R1", "R2"]
+
+
+class TestComparisonCell:
+    def test_empty_cell(self):
+        cell = ComparisonCell()
+        assert cell.is_empty
+        assert cell.display() == "—"
+        assert cell.rate == 0.0
+
+    def test_populated_cell_display(self):
+        cell = ComparisonCell(value="yes", occurrences=8, population=11)
+        assert "73%" in cell.display()
+        assert "8/11" in cell.display()
+
+    def test_singleton_population_displays_plain_value(self):
+        cell = ComparisonCell(value="TomTom", occurrences=1, population=1)
+        assert cell.display() == "TomTom"
+
+
+class TestComparisonTable:
+    def build_table(self, config=None):
+        config = config or DFSConfig(size_limit=3)
+        r1 = build_result("R1", "TomTom Go 630", 8, 11)
+        r2 = build_result("R2", "Garmin Nuvi 200", 4, 10)
+        dfs_set = DFSSet([DFS(r1, list(r1)[:3]), DFS(r2, list(r2)[:3])])
+        return ComparisonTable.from_dfs_set(
+            dfs_set, config=config, column_titles=["TomTom Go 630", "Garmin Nuvi 200"]
+        )
+
+    def test_rows_cover_union_of_types(self):
+        table = self.build_table()
+        labels = {row.label() for row in table.rows}
+        assert "product.name" in labels
+        assert "review.pro.compact" in labels
+
+    def test_differentiating_rows_marked(self):
+        table = self.build_table()
+        name_row = table.row_for(FeatureType("product", "name"))
+        assert name_row.differentiating
+        assert name_row in table.differentiating_rows()
+
+    def test_missing_cells_are_empty(self):
+        config = DFSConfig(size_limit=2)
+        r1 = build_result("R1", "A", 8, 11)
+        r2 = build_result("R2", "B", 4, 10)
+        dfs_set = DFSSet(
+            [
+                DFS(r1, [r1.get(FeatureType("product", "name"))]),
+                DFS(r2, [r2.get(FeatureType("review.pro", "compact"))]),
+            ]
+        )
+        table = ComparisonTable.from_dfs_set(dfs_set, config=config)
+        name_row = table.row_for(FeatureType("product", "name"))
+        assert not name_row.cells[1].is_empty is False or name_row.cells[1].is_empty
+
+    def test_column_lookup(self):
+        table = self.build_table()
+        assert table.column_index("R2") == 1
+        with pytest.raises(KeyError):
+            table.column_index("R7")
+        with pytest.raises(KeyError):
+            table.row_for(FeatureType("x", "y"))
+
+    def test_title_mismatch_rejected(self):
+        r1 = build_result("R1", "A", 8, 11)
+        r2 = build_result("R2", "B", 4, 10)
+        dfs_set = DFSSet([DFS(r1, list(r1)[:2]), DFS(r2, list(r2)[:2])])
+        with pytest.raises(ComparisonError):
+            ComparisonTable.from_dfs_set(dfs_set, column_titles=["only one"])
+
+    def test_dod_recorded_on_table(self):
+        table = self.build_table()
+        assert table.dod >= 1
+        assert len(table) == len(table.rows)
+
+
+class TestRenderers:
+    def test_text_rendering_contains_header_and_dod(self):
+        table = TestComparisonTable().build_table()
+        text = render_text(table)
+        assert "TomTom Go 630" in text
+        assert "Degree of differentiation" in text
+        assert "*" in text
+
+    def test_markdown_rendering_is_table(self):
+        table = TestComparisonTable().build_table()
+        markdown = render_markdown(table)
+        assert markdown.startswith("| Feature type |")
+        assert "| --- |" in markdown.replace("|---|", "| --- |") or "|---|" in markdown
+        assert "_DoD =" in markdown
+
+    def test_html_rendering_is_standalone_page(self):
+        table = TestComparisonTable().build_table()
+        html = render_html(table, title="Demo <table>")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "&lt;table&gt;" in html  # title escaped
+        assert "<td>" in html

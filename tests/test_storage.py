@@ -1,0 +1,218 @@
+"""Unit tests for the storage substrate: tokenizer, document store, index, statistics."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError, IndexError_, StorageError
+from repro.storage.corpus import Corpus
+from repro.storage.document_store import DocumentStore
+from repro.storage.inverted_index import InvertedIndex, Posting
+from repro.storage.statistics import CorpusStatistics
+from repro.storage.tokenizer import STOPWORDS, tokenize
+from repro.xmlmodel.builder import element
+from repro.xmlmodel.dewey import DeweyLabel
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestTokenizer:
+    def test_lowercase_and_split(self):
+        assert tokenize("TomTom, GPS!") == ["tomtom", "gps"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("the best of GPS") == ["best", "gps"]
+
+    def test_stopwords_kept_when_disabled(self):
+        assert "the" in tokenize("the gps", drop_stopwords=False)
+
+    def test_digits_kept(self):
+        assert tokenize("Go 630") == ["go", "630"]
+
+    def test_single_letters_dropped(self):
+        assert tokenize("a b c 7") == ["7"]
+
+    def test_underscores_split(self):
+        assert tokenize("easy_to_read") == ["easy", "read"]
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+    def test_stopword_list_is_frozen(self):
+        assert "the" in STOPWORDS
+        with pytest.raises(AttributeError):
+            STOPWORDS.add("new")  # frozenset has no add
+
+
+def sample_store() -> DocumentStore:
+    store = DocumentStore()
+    store.add("d1", parse_xml("<product><name>TomTom GPS</name><price>100</price></product>"))
+    store.add("d2", parse_xml("<product><name>Garmin GPS</name><price>200</price></product>"))
+    return store
+
+
+class TestDocumentStore:
+    def test_add_and_get(self):
+        store = sample_store()
+        assert store.get("d1").root.tag == "product"
+        assert len(store) == 2
+        assert "d1" in store and "d3" not in store
+
+    def test_duplicate_id_rejected(self):
+        store = sample_store()
+        with pytest.raises(StorageError):
+            store.add("d1", XMLNode.element("x"))
+
+    def test_text_root_rejected(self):
+        store = DocumentStore()
+        with pytest.raises(StorageError):
+            store.add("bad", XMLNode.text_node("oops"))
+
+    def test_missing_document_raises(self):
+        store = sample_store()
+        with pytest.raises(DocumentNotFoundError):
+            store.get("nope")
+        with pytest.raises(DocumentNotFoundError):
+            store.remove("nope")
+
+    def test_remove_and_clear(self):
+        store = sample_store()
+        store.remove("d1")
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+
+    def test_node_at(self):
+        store = sample_store()
+        node = store.node_at("d1", DeweyLabel((0,)))
+        assert node.tag == "name"
+
+    def test_total_elements(self):
+        store = sample_store()
+        assert store.total_elements() == 6
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        store = sample_store()
+        written = store.save_to_directory(tmp_path)
+        assert len(written) == 2
+        loaded = DocumentStore.load_from_directory(tmp_path)
+        assert loaded.document_ids() == ["d1", "d2"]
+        assert loaded.get("d2").root.find_child("name").direct_text() == "Garmin GPS"
+
+    def test_load_from_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            DocumentStore.load_from_directory(tmp_path / "missing")
+
+
+class TestInvertedIndex:
+    def test_postings_sorted_in_document_order(self):
+        store = sample_store()
+        index = InvertedIndex.build(store)
+        postings = index.postings("gps")
+        assert [posting.doc_id for posting in postings] == ["d1", "d2"]
+        assert all(isinstance(posting.label, DeweyLabel) for posting in postings)
+
+    def test_tag_terms_indexed(self):
+        store = sample_store()
+        index = InvertedIndex.build(store)
+        assert index.collection_frequency("price") == 2
+
+    def test_document_frequency(self):
+        store = sample_store()
+        index = InvertedIndex.build(store)
+        assert index.document_frequency("tomtom") == 1
+        assert index.document_frequency("gps") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_contains_and_len(self):
+        index = InvertedIndex.build(sample_store())
+        assert "gps" in index
+        assert "zebra" not in index
+        assert len(index) > 0
+
+    def test_multi_token_postings_lookup_rejected(self):
+        index = InvertedIndex.build(sample_store())
+        with pytest.raises(IndexError_):
+            index.postings("tomtom gps")
+
+    def test_keyword_node_lists_order_preserved(self):
+        index = InvertedIndex.build(sample_store())
+        lists = index.keyword_node_lists(["tomtom", "gps"])
+        assert len(lists) == 2
+        assert len(lists[0]) == 1 and len(lists[1]) == 2
+
+    def test_documents_containing_all(self):
+        index = InvertedIndex.build(sample_store())
+        assert index.documents_containing_all(["gps"]) == ["d1", "d2"]
+        assert index.documents_containing_all(["tomtom", "gps"]) == ["d1"]
+        assert index.documents_containing_all(["tomtom", "garmin"]) == []
+        assert index.documents_containing_all([]) == []
+
+    def test_postings_for_document(self):
+        index = InvertedIndex.build(sample_store())
+        assert all(p.doc_id == "d2" for p in index.postings_for_document("gps", "d2"))
+
+    def test_attribute_values_indexed(self):
+        store = DocumentStore()
+        store.add("d", parse_xml('<item kind="waterproof jacket"><name>x</name></item>'))
+        index = InvertedIndex.build(store)
+        assert index.collection_frequency("waterproof") == 1
+
+
+class TestCorpusStatistics:
+    def test_path_counts(self):
+        stats = CorpusStatistics.build(sample_store())
+        summary = stats.path_summary(("product", "name"))
+        assert summary.count == 2
+        assert summary.leaf_count == 2
+        assert summary.leaf_fraction == 1.0
+
+    def test_repeating_detection(self):
+        store = DocumentStore()
+        store.add("d", parse_xml("<r><item/><item/><other/></r>"))
+        stats = CorpusStatistics.build(store)
+        assert stats.tag_is_repeating("item")
+        assert not stats.tag_is_repeating("other")
+        assert not stats.tag_is_repeating("missing")
+
+    def test_document_frequency(self):
+        stats = CorpusStatistics.build(sample_store())
+        assert stats.document_frequency("gps") == 2
+        assert stats.document_frequency("tomtom") == 1
+
+    def test_document_and_element_counts(self):
+        stats = CorpusStatistics.build(sample_store())
+        assert stats.document_count == 2
+        assert stats.total_elements == 6
+        assert stats.average_document_elements == 3.0
+
+    def test_distinct_values_tracked(self):
+        stats = CorpusStatistics.build(sample_store())
+        summary = stats.path_summary(("product", "price"))
+        assert summary.distinct_values == 2
+
+    def test_empty_statistics(self):
+        stats = CorpusStatistics()
+        assert stats.document_count == 0
+        assert stats.average_document_elements == 0.0
+
+
+class TestCorpus:
+    def test_corpus_bundles_store_index_statistics(self):
+        corpus = Corpus(sample_store(), name="sample")
+        assert corpus.index.document_frequency("gps") == 2
+        assert corpus.statistics.document_count == 2
+        description = corpus.describe()
+        assert description["documents"] == 2.0
+        assert "sample" in repr(corpus)
+
+    def test_refresh_after_adding_document(self):
+        corpus = Corpus(sample_store())
+        corpus.store.add("d3", parse_xml("<product><name>Magellan GPS</name></product>"))
+        assert corpus.index.document_frequency("magellan") == 0
+        corpus.refresh()
+        assert corpus.index.document_frequency("magellan") == 1
+
+    def test_corpus_from_directory(self, tmp_path):
+        sample_store().save_to_directory(tmp_path)
+        corpus = Corpus.from_directory(tmp_path)
+        assert len(corpus.store) == 2
+        assert corpus.name == tmp_path.name

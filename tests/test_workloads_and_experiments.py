@@ -1,0 +1,190 @@
+"""Tests for workload definitions, the runner and the experiment harnesses."""
+
+import pytest
+
+from repro.core.config import DFSConfig
+from repro.errors import ExperimentError, WorkloadError
+from repro.experiments.ablations import (
+    run_algorithm_field,
+    run_num_results_ablation,
+    run_optimality_gap,
+    run_size_limit_ablation,
+    run_threshold_ablation,
+)
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.instances import micro_instance
+from repro.experiments.report import format_measurements, format_rows, series_by_algorithm
+from repro.workloads.queries import (
+    IMDB_QUERIES,
+    OUTDOOR_QUERIES,
+    PRODUCT_QUERIES,
+    QuerySpec,
+    Workload,
+    imdb_workload,
+    outdoor_workload,
+    product_reviews_workload,
+)
+from repro.workloads.runner import WorkloadRunner
+
+
+@pytest.fixture(scope="module")
+def imdb_runner(small_imdb_corpus):
+    workload = imdb_workload(corpus_factory=lambda: small_imdb_corpus)
+    return WorkloadRunner(workload, config=DFSConfig(size_limit=4), corpus=small_imdb_corpus)
+
+
+class TestWorkloadDefinitions:
+    def test_paper_query_sets(self):
+        assert [spec.name for spec in IMDB_QUERIES] == [f"QM{i}" for i in range(1, 9)]
+        assert PRODUCT_QUERIES[0].text == "tomtom gps"
+        assert OUTDOOR_QUERIES[0].text == "men jackets"
+
+    def test_query_spec_parses(self):
+        spec = QuerySpec("Q", "TomTom, GPS")
+        assert spec.query().keywords == ("tomtom", "gps")
+
+    def test_workload_validation(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="empty", queries=[], corpus_factory=lambda: None)
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="dup",
+                queries=[QuerySpec("Q1", "a b"), QuerySpec("Q1", "c d")],
+                corpus_factory=lambda: None,
+            )
+
+    def test_factories_build_named_workloads(self):
+        assert imdb_workload().name == "imdb"
+        assert product_reviews_workload().name == "product_reviews"
+        assert outdoor_workload().name == "outdoor_retailer"
+        assert imdb_workload().query_names() == [f"QM{i}" for i in range(1, 9)]
+
+
+class TestWorkloadRunner:
+    def test_run_query_produces_measurement(self, imdb_runner):
+        spec = imdb_runner.workload.queries[0]
+        measurement = imdb_runner.run_query(spec, "single_swap")
+        assert measurement.query_name == spec.name
+        assert measurement.num_results >= 2
+        assert measurement.dod >= 0
+        assert measurement.construction_seconds >= 0
+        assert measurement.as_dict()["algorithm"] == "single_swap"
+
+    def test_feature_cache_reused(self, imdb_runner):
+        spec = imdb_runner.workload.queries[0]
+        first = imdb_runner.result_features(spec)
+        second = imdb_runner.result_features(spec)
+        assert first is second
+
+    def test_run_all_queries_both_algorithms(self, imdb_runner):
+        measurements = imdb_runner.run(["top_significance"])
+        assert len(measurements) == len(imdb_runner.workload.queries)
+
+    def test_too_few_results_raises(self, imdb_runner):
+        spec = QuerySpec("QX", "western redemption", max_results=1)
+        with pytest.raises(ExperimentError):
+            imdb_runner.run_query(spec, "single_swap")
+
+
+class TestFigure4:
+    def test_rows_cover_all_queries(self, imdb_runner):
+        rows = run_figure4(runner=imdb_runner)
+        assert [row.query_name for row in rows] == [f"QM{i}" for i in range(1, 9)]
+        for row in rows:
+            assert row.single_swap_dod >= 0
+            assert row.multi_swap_dod >= 0
+            assert row.single_swap_seconds >= 0
+            assert row.multi_swap_seconds >= 0
+
+    def test_multi_swap_is_competitive(self, imdb_runner):
+        """Figure 4(a) shape: multi-swap matches or beats single-swap overall."""
+        rows = run_figure4(runner=imdb_runner)
+        total_single = sum(row.single_swap_dod for row in rows)
+        total_multi = sum(row.multi_swap_dod for row in rows)
+        assert total_multi >= total_single * 0.95
+
+    def test_rows_serialise(self, imdb_runner):
+        rows = run_figure4(runner=imdb_runner)
+        as_dict = rows[0].as_dict()
+        assert set(as_dict) == {
+            "query",
+            "results",
+            "dod_single_swap",
+            "dod_multi_swap",
+            "time_single_swap_s",
+            "time_multi_swap_s",
+        }
+
+
+class TestAblations:
+    def test_size_limit_sweep_monotone_tendency(self, imdb_runner):
+        rows = run_size_limit_ablation(size_limits=(2, 6), runner=imdb_runner)
+        by_algorithm = {}
+        for row_ in rows:
+            by_algorithm.setdefault(row_.algorithm, []).append(row_.dod)
+        for dods in by_algorithm.values():
+            assert dods[-1] >= dods[0]  # larger budget never hurts
+
+    def test_num_results_sweep_grows(self, imdb_runner):
+        rows = run_num_results_ablation(result_counts=(2, 5), runner=imdb_runner)
+        multi = [row_.dod for row_ in rows if row_.algorithm == "multi_swap"]
+        assert multi[-1] >= multi[0]
+
+    def test_threshold_sweep_runs(self, imdb_runner):
+        rows = run_threshold_ablation(thresholds=(5.0, 50.0), runner=imdb_runner)
+        assert {row_.value for row_ in rows} == {5.0, 50.0}
+
+    def test_optimality_gap_exhaustive_dominates(self):
+        rows = run_optimality_gap(seeds=(0, 1))
+        by_seed = {}
+        for row_ in rows:
+            by_seed.setdefault(row_.value, {})[row_.algorithm] = row_.dod
+        for algorithms in by_seed.values():
+            optimum = algorithms["exhaustive"]
+            for name, dod in algorithms.items():
+                assert dod <= optimum, name
+
+    def test_algorithm_field_ordering(self, imdb_runner):
+        rows = run_algorithm_field(runner=imdb_runner)
+        dods = {row_.algorithm: row_.dod for row_ in rows}
+        assert dods["multi_swap"] >= dods["random"]
+        assert dods["single_swap"] >= dods["random"]
+
+
+class TestReportFormatting:
+    def test_format_rows_aligns_columns(self):
+        rows = [{"query": "QM1", "dod": 10}, {"query": "QM2", "dod": 7}]
+        text = format_rows(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "query" in lines[1] and "dod" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_rows_empty(self):
+        assert "(no rows)" in format_rows([], title="empty")
+
+    def test_format_measurements_uses_as_dict(self, imdb_runner):
+        rows = run_figure4(runner=imdb_runner)
+        text = format_measurements(rows, title="Figure 4")
+        assert "QM1" in text and "dod_multi_swap" in text
+
+    def test_series_by_algorithm_pivot(self, imdb_runner):
+        measurements = imdb_runner.run(["top_significance", "multi_swap"])
+        series = series_by_algorithm(measurements)
+        assert set(series) == {"top_significance", "multi_swap"}
+        assert len(series["multi_swap"]) == len(imdb_runner.workload.queries)
+
+
+class TestMicroInstances:
+    def test_micro_instance_is_deterministic(self):
+        a = micro_instance(seed=5)
+        b = micro_instance(seed=5)
+        assert [str(r.feature_types()) for r in a.results] == [
+            str(r.feature_types()) for r in b.results
+        ]
+
+    def test_micro_instance_shape(self):
+        problem = micro_instance(num_results=4, size_limit=2, seed=1, attributes_per_entity=3)
+        assert problem.num_results == 4
+        assert problem.config.size_limit == 2
+        assert problem.max_feature_types == 9

@@ -1,0 +1,129 @@
+"""Unit tests for Dewey labels."""
+
+import pytest
+
+from repro.errors import DeweyError
+from repro.xmlmodel.dewey import DeweyLabel, common_ancestor_label, common_prefix_length
+
+
+class TestConstruction:
+    def test_root_is_empty(self):
+        assert DeweyLabel.root().components == ()
+        assert DeweyLabel.root().is_root
+
+    def test_parse_round_trip(self):
+        label = DeweyLabel.parse("0.3.1")
+        assert label.components == (0, 3, 1)
+        assert str(label) == "0.3.1"
+
+    def test_parse_empty_string_is_root(self):
+        assert DeweyLabel.parse("") == DeweyLabel.root()
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(DeweyError):
+            DeweyLabel.parse("0.a.1")
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(DeweyError):
+            DeweyLabel((0, -1))
+
+    def test_child_appends_offset(self):
+        assert DeweyLabel((1,)).child(2) == DeweyLabel((1, 2))
+
+    def test_child_rejects_negative_offset(self):
+        with pytest.raises(DeweyError):
+            DeweyLabel.root().child(-1)
+
+
+class TestRelationships:
+    def test_parent(self):
+        assert DeweyLabel((0, 1, 2)).parent() == DeweyLabel((0, 1))
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(DeweyError):
+            DeweyLabel.root().parent()
+
+    def test_ancestors_ordering(self):
+        ancestors = list(DeweyLabel((0, 1, 2)).ancestors())
+        assert ancestors == [DeweyLabel(()), DeweyLabel((0,)), DeweyLabel((0, 1))]
+
+    def test_is_ancestor_of(self):
+        assert DeweyLabel((0,)).is_ancestor_of(DeweyLabel((0, 5)))
+        assert not DeweyLabel((0, 5)).is_ancestor_of(DeweyLabel((0,)))
+
+    def test_is_ancestor_is_strict(self):
+        label = DeweyLabel((0, 1))
+        assert not label.is_ancestor_of(label)
+        assert label.is_ancestor_or_self_of(label)
+
+    def test_is_descendant_of(self):
+        assert DeweyLabel((0, 1, 2)).is_descendant_of(DeweyLabel((0,)))
+        assert not DeweyLabel((1,)).is_descendant_of(DeweyLabel((0,)))
+
+    def test_siblings_are_unrelated(self):
+        assert not DeweyLabel((0, 1)).is_ancestor_of(DeweyLabel((0, 2)))
+        assert not DeweyLabel((0, 2)).is_ancestor_of(DeweyLabel((0, 1)))
+
+    def test_lca_of_siblings_is_parent(self):
+        assert DeweyLabel((0, 1)).lca(DeweyLabel((0, 2))) == DeweyLabel((0,))
+
+    def test_lca_of_ancestor_and_descendant(self):
+        ancestor = DeweyLabel((0,))
+        descendant = DeweyLabel((0, 3, 4))
+        assert ancestor.lca(descendant) == ancestor
+        assert descendant.lca(ancestor) == ancestor
+
+    def test_lca_of_unrelated_is_root(self):
+        assert DeweyLabel((1, 0)).lca(DeweyLabel((2, 5))) == DeweyLabel.root()
+
+
+class TestOrderingAndHashing:
+    def test_document_order_is_lexicographic(self):
+        labels = [DeweyLabel((0, 2)), DeweyLabel((0,)), DeweyLabel((0, 1, 5)), DeweyLabel((1,))]
+        assert sorted(labels) == [
+            DeweyLabel((0,)),
+            DeweyLabel((0, 1, 5)),
+            DeweyLabel((0, 2)),
+            DeweyLabel((1,)),
+        ]
+
+    def test_ancestor_sorts_before_descendant(self):
+        assert DeweyLabel((0,)) < DeweyLabel((0, 0))
+
+    def test_equality_and_hash(self):
+        assert DeweyLabel((1, 2)) == DeweyLabel([1, 2])
+        assert hash(DeweyLabel((1, 2))) == hash(DeweyLabel((1, 2)))
+        assert DeweyLabel((1, 2)) != DeweyLabel((1, 3))
+
+    def test_label_usable_in_sets(self):
+        labels = {DeweyLabel((0,)), DeweyLabel((0,)), DeweyLabel((1,))}
+        assert len(labels) == 2
+
+    def test_iteration_and_indexing(self):
+        label = DeweyLabel((4, 5, 6))
+        assert list(label) == [4, 5, 6]
+        assert label[1] == 5
+        assert len(label) == 3
+
+    def test_repr_is_parseable(self):
+        label = DeweyLabel((0, 7))
+        assert "0.7" in repr(label)
+
+
+class TestHelpers:
+    def test_common_prefix_length(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 5)) == 2
+        assert common_prefix_length((), (1,)) == 0
+        assert common_prefix_length((1,), (1,)) == 1
+
+    def test_common_ancestor_label(self):
+        labels = [DeweyLabel((0, 1, 2)), DeweyLabel((0, 1, 5)), DeweyLabel((0, 1))]
+        assert common_ancestor_label(labels) == DeweyLabel((0, 1))
+
+    def test_common_ancestor_label_unrelated(self):
+        labels = [DeweyLabel((0,)), DeweyLabel((3,))]
+        assert common_ancestor_label(labels) == DeweyLabel.root()
+
+    def test_common_ancestor_of_empty_raises(self):
+        with pytest.raises(DeweyError):
+            common_ancestor_label([])
