@@ -17,6 +17,7 @@ from repro.core.config import DFSConfig
 from repro.datasets.imdb import generate_imdb_corpus
 from repro.datasets.outdoor_retailer import generate_outdoor_corpus
 from repro.datasets.product_reviews import generate_product_reviews_corpus
+from repro.search.engine import SearchEngine
 from repro.workloads.queries import imdb_workload
 from repro.workloads.runner import WorkloadRunner
 
@@ -60,6 +61,12 @@ def product_corpus():
 def outdoor_corpus():
     """The full-size Outdoor Retailer corpus (seed 7)."""
     return generate_outdoor_corpus()
+
+
+@pytest.fixture(scope="session")
+def imdb_engine(imdb_corpus):
+    """A shared SLCA engine over the IMDB corpus (default query cache on)."""
+    return SearchEngine(imdb_corpus)
 
 
 @pytest.fixture(scope="session")

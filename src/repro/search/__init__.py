@@ -17,19 +17,21 @@ scratch:
   pipeline and by the experiments.
 """
 
-from repro.search.elca import compute_elca
+from repro.search.elca import compute_elca, compute_elca_scan
 from repro.search.engine import SearchEngine
 from repro.search.query import KeywordQuery
 from repro.search.ranking import rank_results, tf_idf_score
 from repro.search.result import SearchResult, SearchResultSet
-from repro.search.slca import compute_slca, compute_slca_scan
+from repro.search.slca import compute_slca, compute_slca_merge, compute_slca_scan
 from repro.search.xseek import infer_return_subtree
 
 __all__ = [
     "KeywordQuery",
     "compute_slca",
+    "compute_slca_merge",
     "compute_slca_scan",
     "compute_elca",
+    "compute_elca_scan",
     "infer_return_subtree",
     "SearchResult",
     "SearchResultSet",

@@ -6,46 +6,57 @@ SLCA; XSeek-style engines expose it when users want the broader semantics.
 The XSACT experiments run on SLCA results (the engine default), but the ELCA
 module completes the search substrate and is exercised by its own tests and an
 ablation benchmark.
+
+Two algorithms are provided:
+
+* :func:`compute_elca` — a stack-based linear merge over the Dewey labels
+  (Indexed-Stack style, see :mod:`repro.search.linear_merge`).  All posting
+  lists are merged in document order; a stack mirroring the root-to-current
+  path accumulates one keyword bitmask per subtree plus the set of keyword
+  occurrences not captured by a deeper LCA match.  When an entry is popped its
+  subtree is complete, so contains-all and exclusive-witness checks are O(1)
+  bitmask tests.  Total cost is ``O(N log N)`` for the merge plus ``O(N * d)``
+  stack work for ``N`` postings of maximum depth ``d``.
+* :func:`compute_elca_scan` — the original brute-force implementation, kept as
+  the correctness oracle: it enumerates every ancestor-or-self candidate and
+  re-checks containment per keyword, which is ``O(C^2 * N)`` in the number of
+  candidates ``C``.  The property tests assert both agree on arbitrary inputs.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Sequence, Set
+from typing import List, Sequence, Set
 
-from repro.search.slca import compute_slca
+from repro.search.linear_merge import collect_per_document, stack_merge_document
 from repro.storage.inverted_index import Posting
 from repro.xmlmodel.dewey import DeweyLabel
 
-__all__ = ["compute_elca"]
+__all__ = ["compute_elca", "compute_elca_scan"]
 
 
 def compute_elca(keyword_postings: Sequence[Sequence[Posting]]) -> List[Posting]:
     """Return the ELCA nodes for the given per-keyword posting lists.
 
-    The implementation follows the definition directly: start from all LCA
-    candidates (ancestors-or-self of keyword matches), and keep a candidate if,
-    for every keyword, it has a witness occurrence that is not inside any
-    *deeper* LCA candidate that itself contains all keywords.
+    The result is a list of :class:`Posting` (document id + Dewey label of the
+    ELCA node) sorted in global document order.  If any keyword has an empty
+    posting list the result is empty (conjunctive semantics).
     """
-    lists = [list(postings) for postings in keyword_postings]
-    if not lists or any(not postings for postings in lists):
-        return []
+    return collect_per_document(
+        keyword_postings, lambda label_lists: stack_merge_document(label_lists, exclusive=True)
+    )
 
-    per_document_lists: Dict[str, List[List[DeweyLabel]]] = defaultdict(lambda: [[] for _ in lists])
-    for index, postings in enumerate(lists):
-        for posting in postings:
-            per_document_lists[posting.doc_id][index].append(posting.label)
 
-    results: List[Posting] = []
-    for doc_id in sorted(per_document_lists):
-        label_lists = per_document_lists[doc_id]
-        if any(not labels for labels in label_lists):
-            continue
-        for label in _elca_single_document(label_lists):
-            results.append(Posting(doc_id=doc_id, label=label))
-    results.sort()
-    return results
+def compute_elca_scan(keyword_postings: Sequence[Sequence[Posting]]) -> List[Posting]:
+    """Brute-force ELCA used as a correctness oracle in tests.
+
+    Follows the definition directly: start from all LCA candidates
+    (ancestors-or-self of keyword matches), and keep a candidate if, for every
+    keyword, it has a witness occurrence that is not inside any *deeper* LCA
+    candidate that itself contains all keywords.  Quadratic in the number of
+    candidates, so only suitable for small inputs, but independent of the
+    optimised algorithm's logic.
+    """
+    return collect_per_document(keyword_postings, _elca_single_document)
 
 
 def _elca_single_document(label_lists: List[List[DeweyLabel]]) -> List[DeweyLabel]:

@@ -9,10 +9,20 @@ results comes out.  The pipeline is
 3. infer the return subtree for each match with the XSeek rules,
 4. deduplicate results that map to the same return node,
 5. copy the return subtrees out of the corpus, rank them and assign ids.
+
+Repeated queries are the dominant pattern under real traffic, so the engine
+keeps a small LRU cache of ranked result lists keyed by the normalised query
+(:attr:`~repro.search.query.KeywordQuery.cache_key`) and the result semantics.
+Cache entries are pristine: every ``search`` call returns fresh subtree copies,
+so callers may annotate or prune their results without polluting later hits.
+The cache is invalidated wholesale whenever the corpus
+:attr:`~repro.storage.corpus.Corpus.version` changes.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import replace
 from typing import Dict, List, Literal, Optional, Tuple
 
 from repro.errors import SearchError
@@ -33,13 +43,34 @@ _TITLE_TAGS = ("name", "title", "brand_name", "product_name", "label")
 
 
 class SearchEngine:
-    """Keyword search over a :class:`~repro.storage.corpus.Corpus`."""
+    """Keyword search over a :class:`~repro.storage.corpus.Corpus`.
 
-    def __init__(self, corpus: Corpus, semantics: Literal["slca", "elca"] = "slca"):
+    Parameters
+    ----------
+    corpus:
+        The corpus to search.
+    semantics:
+        Match semantics, ``"slca"`` (default) or ``"elca"``.
+    cache_size:
+        Maximum number of distinct queries whose ranked results are kept in
+        the LRU cache; ``0`` disables caching entirely.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        semantics: Literal["slca", "elca"] = "slca",
+        cache_size: int = 128,
+    ):
         if semantics not in ("slca", "elca"):
             raise SearchError(f"unknown result semantics: {semantics!r}")
         self.corpus = corpus
         self.semantics = semantics
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[Tuple[str, ...], str], List[SearchResult]]" = OrderedDict()
+        self._cache_version = getattr(corpus, "version", None)
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -53,24 +84,80 @@ class SearchEngine:
             A :class:`KeywordQuery` or a raw query string.
         limit:
             Optional cap on the number of results returned (after ranking).
+            The cache stores the full ranked list, so the same query with
+            different limits is still a single cache entry.
         """
         if isinstance(query, str):
             query = KeywordQuery.parse(query)
 
-        matches = self._compute_matches(query)
-        results = self._materialise_results(matches)
-        ranked = rank_results(results, query, self.corpus.statistics)
-        if limit is not None:
-            ranked = ranked[:limit]
-        for position, result in enumerate(ranked, start=1):
+        ranked, shared = self._ranked_results(query)
+        selected = ranked if limit is None else ranked[:limit]
+        results: List[SearchResult] = []
+        for position, result in enumerate(selected, start=1):
+            if shared:
+                result = self._clone_result(result)
             result.result_id = f"R{position}"
-        return SearchResultSet(query=query, results=list(ranked))
+            results.append(result)
+        return SearchResultSet(query=query, results=results)
+
+    def clear_cache(self) -> None:
+        """Drop every cached query result."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Caching
+    # ------------------------------------------------------------------ #
+    def _ranked_results(self, query: KeywordQuery) -> Tuple[List[SearchResult], bool]:
+        """Return the full ranked result list and whether it is cache-shared.
+
+        Cache-shared lists must not be handed to callers directly — ``search``
+        clones each selected result so cached subtrees stay pristine.  A miss
+        therefore pays one extra subtree copy over an uncached engine; that is
+        deliberate: handing out the originals and cloning into the cache
+        instead would copy the *full* ranked list even for small ``limit``
+        requests, and lending cached entries out uncloned would let caller
+        mutations poison later hits.
+        """
+        if self.cache_size <= 0:
+            return self._evaluate(query), False
+
+        version = getattr(self.corpus, "version", None)
+        if version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = version
+
+        key = (query.cache_key, self.semantics)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return cached, True
+        self.cache_misses += 1
+        ranked = self._evaluate(query)
+        self._cache[key] = ranked
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return ranked, True
+
+    @staticmethod
+    def _clone_result(result: SearchResult) -> SearchResult:
+        # dataclasses.replace keeps the clone in sync with future SearchResult
+        # fields; only the id (reassigned per result set) and the subtree
+        # (must be a fresh mutable copy) diverge from the cached original.
+        return replace(result, result_id="", subtree=result.subtree.copy())
 
     # ------------------------------------------------------------------ #
     # Pipeline stages
     # ------------------------------------------------------------------ #
+    def _evaluate(self, query: KeywordQuery) -> List[SearchResult]:
+        matches = self._compute_matches(query)
+        results = self._materialise_results(matches)
+        return rank_results(results, query, self.corpus.statistics)
+
     def _compute_matches(self, query: KeywordQuery) -> List[Posting]:
-        posting_lists = self.corpus.index.keyword_node_lists(query.keywords)
+        # copy=False: the match algorithms never mutate the lists, so the hot
+        # path skips one posting-list copy per keyword.
+        posting_lists = self.corpus.index.keyword_node_lists(query.keywords, copy=False)
         if not posting_lists:
             return []
         if self.semantics == "slca":
@@ -87,8 +174,9 @@ class SearchEngine:
             key = (match.doc_id, return_node.label)
             if key in seen_return_nodes:
                 continue
+            # copy() already returns a detached clone labelled from the root,
+            # so no relabel pass is needed.
             subtree = return_node.copy()
-            subtree.relabel()
             result = SearchResult(
                 result_id="",
                 doc_id=match.doc_id,
@@ -111,9 +199,8 @@ class SearchEngine:
                     return text
         # Fall back to any descendant name-like node, then to the doc id.
         for tag in _TITLE_TAGS:
-            descendants = subtree.find_descendants(tag)
-            if descendants:
-                text = descendants[0].text_content()
+            for descendant in subtree.find_descendants(tag):
+                text = descendant.text_content()
                 if text:
                     return text
         return f"{doc_id}:{subtree.tag}"

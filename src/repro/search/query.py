@@ -17,6 +17,19 @@ from repro.storage.tokenizer import tokenize
 __all__ = ["KeywordQuery"]
 
 
+def _flatten_and_dedupe(keywords: Sequence[str]) -> List[str]:
+    """Tokenise each keyword and deduplicate, keeping first occurrences.
+
+    The single source of truth for keyword normalisation: construction via
+    :meth:`KeywordQuery.of` and the cache identity in
+    :attr:`KeywordQuery.normalized_keywords` must always agree.
+    """
+    flattened: List[str] = []
+    for keyword in keywords:
+        flattened.extend(tokenize(keyword))
+    return list(dict.fromkeys(flattened))
+
+
 @dataclass(frozen=True)
 class KeywordQuery:
     """A parsed keyword query.
@@ -56,13 +69,44 @@ class KeywordQuery:
     @classmethod
     def of(cls, keywords: Sequence[str]) -> "KeywordQuery":
         """Build a query from an explicit keyword sequence."""
-        flattened: List[str] = []
-        for keyword in keywords:
-            flattened.extend(tokenize(keyword))
-        deduplicated = list(dict.fromkeys(flattened))
+        deduplicated = _flatten_and_dedupe(keywords)
         if not deduplicated:
             raise QueryError("keyword list contains no searchable keywords")
         return cls(keywords=tuple(deduplicated), raw=" ".join(keywords))
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    @property
+    def normalized_keywords(self) -> Tuple[str, ...]:
+        """The tokenised, deduplicated keywords regardless of construction.
+
+        Queries built via :meth:`parse` or :meth:`of` are already normalised,
+        so this usually just returns :attr:`keywords`; direct construction
+        with un-tokenised keywords is normalised here.  Every query-evaluation
+        stage (posting lookup, ranking, caching) works off this view, so two
+        queries with equal normalised keywords evaluate identically.
+        """
+        cached = self.__dict__.get("_normalized_keywords")
+        if cached is None:
+            cached = tuple(_flatten_and_dedupe(self.keywords))
+            # Memoised because ranking consults this once per scored result;
+            # object.__setattr__ sidesteps the frozen-dataclass guard and is
+            # safe as the value is a pure function of the immutable keywords.
+            object.__setattr__(self, "_normalized_keywords", cached)
+        return cached
+
+    @property
+    def cache_key(self) -> Tuple[str, ...]:
+        """Canonical identity of the query, used by the engine's result cache.
+
+        Two queries that tokenise to the same keyword *set* — regardless of
+        raw spelling, separators, case, stopwords, duplicates or keyword
+        order — share a cache key.  Order-insensitivity is safe because match
+        computation and the TF-IDF sum are both keyword-order independent, so
+        permuted spellings provably return identical result lists.
+        """
+        return tuple(sorted(self.normalized_keywords))
 
     # ------------------------------------------------------------------ #
     # Protocol

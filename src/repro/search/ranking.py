@@ -23,12 +23,22 @@ __all__ = ["tf_idf_score", "rank_results"]
 
 
 def _term_frequencies(subtree: XMLNode) -> Dict[str, int]:
+    """Count keyword occurrences the same way the inverted index posts them.
+
+    Tag names, direct text *and* attribute values all contribute — the index
+    (:meth:`~repro.storage.inverted_index.InvertedIndex._node_terms`) matches
+    on all three, so a result matched only via an attribute value must still
+    score a non-zero term frequency here.
+    """
     counts: Dict[str, int] = {}
     for node in subtree.iter_elements():
         for token in tokenize(node.tag or ""):
             counts[token] = counts.get(token, 0) + 1
         for token in tokenize(node.direct_text()):
             counts[token] = counts.get(token, 0) + 1
+        for value in node.attributes.values():
+            for token in tokenize(value):
+                counts[token] = counts.get(token, 0) + 1
     return counts
 
 
@@ -46,7 +56,10 @@ def tf_idf_score(
     frequencies = _term_frequencies(subtree)
     document_count = max(statistics.document_count, 1)
     score = 0.0
-    for keyword in query:
+    # Score over the normalised keyword view so that spelling variants of the
+    # same query (and directly-constructed un-tokenised queries) evaluate
+    # identically — the engine's cache relies on this.
+    for keyword in query.normalized_keywords:
         term_frequency = frequencies.get(keyword, 0)
         if term_frequency == 0:
             continue

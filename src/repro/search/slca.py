@@ -6,27 +6,35 @@ keeps only the smallest such subtrees: an LCA match is an SLCA iff none of its
 descendants is also an LCA match.  SLCA is the result semantics used by XSeek
 and most XML keyword-search engines, and it is what feeds XSACT with results.
 
-Two algorithms are provided:
+Three algorithms are provided:
 
-* :func:`compute_slca` — the *indexed lookup eager* style algorithm that walks
-  the shortest posting list and, for each of its postings, narrows the
-  candidate by matching against the other lists with binary search.  This is
-  the default used by the search engine.
-* :func:`compute_slca_scan` — a simple *scan eager* algorithm that merges all
-  posting lists in document order.  It is asymptotically worse but trivially
-  correct, and the test suite uses it as an oracle for the indexed algorithm.
+* :func:`compute_slca` — the engine default.  Per document it dispatches
+  between the two strategies below based on the posting-list shapes: when one
+  keyword is much rarer than the others the indexed lookup wins, otherwise the
+  linear merge does.
+* :func:`_slca_single_document` (*indexed lookup eager*) — walks the shortest
+  posting list and, for each of its postings, narrows the candidate by
+  matching against the other lists with binary search; ``O(s * k * log N)``
+  for shortest-list size ``s``, ``k`` keywords, ``N`` total postings.
+* :func:`compute_slca_merge` (*stack merge*) — a single stack-based pass over
+  all posting lists merged in document order (see
+  :mod:`repro.search.linear_merge`); ``O(N log N + N * d)`` for maximum label
+  depth ``d``, independent of how the postings split across keywords.
+* :func:`compute_slca_scan` — a brute-force *scan eager* oracle.  It is
+  asymptotically worse but trivially correct, and the test suite uses it to
+  validate both fast algorithms.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from typing import List, Optional, Sequence
 
+from repro.search.linear_merge import collect_per_document, stack_merge_document
 from repro.storage.inverted_index import Posting
-from repro.xmlmodel.dewey import DeweyLabel, common_prefix_length
+from repro.xmlmodel.dewey import DeweyLabel
 
-__all__ = ["compute_slca", "compute_slca_scan"]
+__all__ = ["compute_slca", "compute_slca_merge", "compute_slca_scan"]
 
 
 def compute_slca(keyword_postings: Sequence[Sequence[Posting]]) -> List[Posting]:
@@ -36,26 +44,43 @@ def compute_slca(keyword_postings: Sequence[Sequence[Posting]]) -> List[Posting]
     SLCA node) sorted in global document order.  If any keyword has an empty
     posting list the result is empty (conjunctive semantics).
     """
-    lists = [sorted(postings) for postings in keyword_postings]
+    lists = list(keyword_postings)
     if not lists or any(not postings for postings in lists):
         return []
     if len(lists) == 1:
-        return _remove_ancestors(lists[0])
+        return _remove_ancestors(sorted(lists[0]))
 
-    # Work document by document: group every list by doc id first.
-    per_document: Dict[str, List[List[DeweyLabel]]] = defaultdict(lambda: [[] for _ in lists])
-    for list_index, postings in enumerate(lists):
-        for posting in postings:
-            per_document[posting.doc_id][list_index].append(posting.label)
+    def dispatch(label_lists: List[List[DeweyLabel]]) -> List[DeweyLabel]:
+        if _prefer_indexed(label_lists):
+            return _slca_single_document(label_lists)
+        return stack_merge_document(label_lists, exclusive=False)
 
-    results: List[Posting] = []
-    for doc_id in sorted(per_document):
-        label_lists = per_document[doc_id]
-        if any(not labels for labels in label_lists):
-            continue
-        slcas = _slca_single_document(label_lists)
-        results.extend(Posting(doc_id=doc_id, label=label) for label in slcas)
-    return results
+    return collect_per_document(lists, dispatch, sort_lists=True)
+
+
+def compute_slca_merge(keyword_postings: Sequence[Sequence[Posting]]) -> List[Posting]:
+    """Stack-merge SLCA: one linear pass per document over all posting lists.
+
+    Same contract as :func:`compute_slca`; exposed separately so that the
+    property tests can pin the merge strategy against the scan oracle
+    regardless of what the dispatch heuristic would pick.
+    """
+    return collect_per_document(
+        keyword_postings, lambda label_lists: stack_merge_document(label_lists, exclusive=False)
+    )
+
+
+def _prefer_indexed(label_lists: List[List[DeweyLabel]]) -> bool:
+    """Pick the indexed-lookup strategy when one keyword is rare enough.
+
+    Indexed lookup costs roughly ``shortest * k * log(total)`` label
+    comparisons, the stack merge roughly ``total`` (times a small depth
+    factor); both are correct, so this is purely a cost model.
+    """
+    total = sum(len(labels) for labels in label_lists)
+    shortest = min(len(labels) for labels in label_lists)
+    log_total = max(total.bit_length(), 1)
+    return shortest * len(label_lists) * log_total <= total
 
 
 def _slca_single_document(label_lists: List[List[DeweyLabel]]) -> List[DeweyLabel]:

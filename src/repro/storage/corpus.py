@@ -5,6 +5,12 @@ and the experiments always use together: the document store, its inverted
 index and its statistics.  Building the index and statistics eagerly keeps the
 rest of the code free of "is the index stale?" bookkeeping — dataset generators
 produce a store, wrap it in a corpus once, and hand the corpus around.
+
+The corpus also carries a monotonically increasing :attr:`Corpus.version`
+counter, bumped by every mutation that goes through the corpus
+(:meth:`add_document`, :meth:`refresh`).  Consumers that cache derived data —
+most importantly the :class:`~repro.search.engine.SearchEngine` query cache —
+compare versions instead of re-validating the store contents.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Dict, Optional, Union
 from repro.storage.document_store import DocumentStore
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.statistics import CorpusStatistics
+from repro.xmlmodel.node import XMLNode
 
 __all__ = ["Corpus"]
 
@@ -27,6 +34,7 @@ class Corpus:
         self.store = store
         self.index = InvertedIndex.build(store)
         self.statistics = CorpusStatistics.build(store)
+        self.version = 0
 
     @classmethod
     def from_directory(cls, directory: Union[str, Path], name: Optional[str] = None) -> "Corpus":
@@ -34,10 +42,39 @@ class Corpus:
         store = DocumentStore.load_from_directory(directory)
         return cls(store, name=name or Path(directory).name)
 
+    def add_document(self, doc_id: str, root: XMLNode) -> None:
+        """Add one document and update index and statistics incrementally.
+
+        Unlike mutating ``corpus.store`` directly followed by :meth:`refresh`,
+        this folds the new document into the existing index and statistics
+        instead of rebuilding both from scratch.
+        """
+        document = self.store.add(doc_id, root)
+        try:
+            self.index.add_document(doc_id, document.root)
+        except Exception:
+            # Keep the mutation atomic: if indexing rejects the document
+            # (e.g. the id is still present in the index after a direct
+            # store.remove), roll the store back so store/index/statistics
+            # stay consistent and no stale version is left behind.
+            self.store.remove(doc_id)
+            raise
+        try:
+            self.statistics.add_document(document.root)
+        except Exception:
+            # Statistics folding is the one step with no incremental undo
+            # (it may fail mid-document), so drop the document and rebuild
+            # both derived structures from the still-consistent store.
+            self.store.remove(doc_id)
+            self.refresh()
+            raise
+        self.version += 1
+
     def refresh(self) -> None:
         """Rebuild the index and statistics after the store was modified."""
         self.index = InvertedIndex.build(self.store)
         self.statistics = CorpusStatistics.build(self.store)
+        self.version += 1
 
     def describe(self) -> Dict[str, float]:
         """Return a small summary dictionary (used by reports and examples)."""

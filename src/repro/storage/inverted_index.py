@@ -2,17 +2,36 @@
 
 Each keyword maps to a posting list of ``(doc_id, DeweyLabel)`` pairs sorted in
 document order.  A node is posted for a keyword when the keyword appears in the
-node's own tag name or in its *direct* text; ancestor matches are implied by the
-Dewey labels and are resolved by the SLCA / ELCA algorithms rather than stored,
-which keeps the index linear in corpus size (the classic XML keyword-search
-index layout).
+node's own tag name, in its *direct* text, or in one of its attribute values;
+ancestor matches are implied by the Dewey labels and are resolved by the SLCA /
+ELCA algorithms rather than stored, which keeps the index linear in corpus size
+(the classic XML keyword-search index layout).
+
+Build strategy
+--------------
+Posting lists are built in two phases so that bulk construction is
+``O(n log n)`` overall instead of the ``O(n^2)`` a per-posting ``insort`` would
+cost:
+
+1. :meth:`InvertedIndex.add_document` only *appends*.  Document traversal
+   yields nodes in document order, so each document contributes an
+   already-sorted run to every bucket it touches; the bucket as a whole is a
+   concatenation of sorted runs.
+2. The first lookup after a mutation finalizes the dirty buckets: each is
+   sorted once (Timsort merges the pre-sorted runs in near-linear time) and a
+   per-document offset map ``doc_id -> (start, end)`` is rebuilt, so
+   :meth:`postings_for_document` returns a slice instead of scanning the full
+   posting list.
+
+Re-adding an existing ``doc_id`` raises
+:class:`~repro.errors.IndexError_` before any state is touched, so a failed
+call never duplicates postings or double-counts document frequencies.
 """
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.errors import IndexError_
 from repro.storage.document_store import DocumentStore
@@ -41,6 +60,9 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: Dict[str, List[Posting]] = {}
         self._document_frequency: Dict[str, int] = {}
+        self._doc_ranges: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        self._doc_ids: Set[str] = set()
+        self._dirty_terms: Set[str] = set()
         self._documents_indexed = 0
 
     # ------------------------------------------------------------------ #
@@ -48,25 +70,73 @@ class InvertedIndex:
     # ------------------------------------------------------------------ #
     @classmethod
     def build(cls, store: DocumentStore) -> "InvertedIndex":
-        """Index every document currently in ``store``."""
+        """Index every document currently in ``store`` and finalize."""
         index = cls()
         for document in store:
             index.add_document(document.doc_id, document.root)
+        index.finalize()
         return index
 
     def add_document(self, doc_id: str, root: XMLNode) -> None:
-        """Index a single document tree."""
-        seen_terms: set = set()
+        """Index a single document tree.
+
+        Raises
+        ------
+        IndexError_
+            If ``doc_id`` has already been indexed.  The index is unchanged in
+            that case.
+        """
+        if doc_id in self._doc_ids:
+            raise IndexError_(f"document {doc_id!r} is already indexed")
+        postings = self._postings
+        dirty = self._dirty_terms
+        seen_terms: Set[str] = set()
         for node in root.iter_elements():
             terms = self._node_terms(node)
+            if not terms:
+                continue
             for term in terms:
-                posting = Posting(doc_id=doc_id, label=node.label)
-                bucket = self._postings.setdefault(term, [])
-                insort(bucket, posting)
-                seen_terms.add(term)
+                bucket = postings.get(term)
+                if bucket is None:
+                    bucket = postings[term] = []
+                elif term not in dirty and term not in seen_terms:
+                    # Copy-on-write: finalized buckets may be aliased by
+                    # earlier keyword_node_lists() callers, so the first
+                    # mutation after a finalize works on a fresh list and
+                    # handed-out lists stay stable snapshots.
+                    bucket = postings[term] = list(bucket)
+                bucket.append(Posting(doc_id=doc_id, label=node.label))
+            seen_terms.update(terms)
         for term in seen_terms:
             self._document_frequency[term] = self._document_frequency.get(term, 0) + 1
+        self._dirty_terms.update(seen_terms)
+        self._doc_ids.add(doc_id)
         self._documents_indexed += 1
+
+    def finalize(self) -> None:
+        """Sort dirty posting lists and rebuild their per-document offsets.
+
+        Called lazily by every order-sensitive lookup; exposed so that bulk
+        builders can pay the sorting cost at a deterministic point.
+        """
+        if not self._dirty_terms:
+            return
+        for term in self._dirty_terms:
+            bucket = self._postings[term]
+            bucket.sort()
+            ranges: Dict[str, Tuple[int, int]] = {}
+            run_doc = None
+            run_start = 0
+            for position, posting in enumerate(bucket):
+                if posting.doc_id != run_doc:
+                    if run_doc is not None:
+                        ranges[run_doc] = (run_start, position)
+                    run_doc = posting.doc_id
+                    run_start = position
+            if run_doc is not None:
+                ranges[run_doc] = (run_start, len(bucket))
+            self._doc_ranges[term] = ranges
+        self._dirty_terms.clear()
 
     @staticmethod
     def _node_terms(node: XMLNode) -> set:
@@ -83,16 +153,30 @@ class InvertedIndex:
     # ------------------------------------------------------------------ #
     def postings(self, keyword: str) -> List[Posting]:
         """Return the posting list for a keyword (tokenised first)."""
-        tokens = tokenize(keyword)
-        if not tokens:
+        token = self._single_token(keyword)
+        if token is None:
             return []
-        if len(tokens) > 1:
-            raise IndexError_(f"postings() expects a single keyword, got {keyword!r}")
-        return list(self._postings.get(tokens[0], []))
+        self.finalize()
+        return list(self._postings.get(token, []))
 
     def postings_for_document(self, keyword: str, doc_id: str) -> List[Posting]:
-        """Return the postings of a keyword restricted to one document."""
-        return [posting for posting in self.postings(keyword) if posting.doc_id == doc_id]
+        """Return the postings of a keyword restricted to one document.
+
+        Uses the per-document offset map built at finalize time, so the cost is
+        a dictionary lookup plus one slice — independent of the length of the
+        full posting list.
+        """
+        token = self._single_token(keyword)
+        if token is None:
+            return []
+        self.finalize()
+        ranges = self._doc_ranges.get(token)
+        if not ranges:
+            return []
+        span = ranges.get(doc_id)
+        if span is None:
+            return []
+        return self._postings[token][span[0]:span[1]]
 
     def document_frequency(self, keyword: str) -> int:
         """Number of documents containing the keyword at least once."""
@@ -124,29 +208,49 @@ class InvertedIndex:
     def __len__(self) -> int:
         return len(self._postings)
 
+    def _single_token(self, keyword: str) -> "str | None":
+        tokens = tokenize(keyword)
+        if not tokens:
+            return None
+        if len(tokens) > 1:
+            raise IndexError_(f"postings() expects a single keyword, got {keyword!r}")
+        return tokens[0]
+
     # ------------------------------------------------------------------ #
     # Query-side helpers used by the search algorithms
     # ------------------------------------------------------------------ #
-    def keyword_node_lists(self, keywords: Iterable[str]) -> List[List[Posting]]:
+    def keyword_node_lists(
+        self, keywords: Iterable[str], *, copy: bool = True
+    ) -> List[List[Posting]]:
         """Return one posting list per query keyword, preserving query order.
 
         Keywords that tokenise to nothing are dropped; a keyword that is absent
         from the corpus yields an empty list, which the caller interprets as an
         empty result set (conjunctive keyword semantics).
+
+        With ``copy=False`` the returned lists are the index's internal
+        buckets, which trusted read-only callers (the search engine's hot
+        path) use to skip one copy per keyword.  They are stable snapshots —
+        later index mutations copy-on-write any finalized bucket, so a held
+        list never changes under its holder — but caller-side mutation would
+        corrupt the index, hence copies are the default.
         """
+        self.finalize()
         lists: List[List[Posting]] = []
         for keyword in keywords:
             for token in tokenize(keyword):
-                lists.append(list(self._postings.get(token, [])))
+                bucket = self._postings.get(token, [])
+                lists.append(list(bucket) if copy else bucket)
         return lists
 
     def documents_containing_all(self, keywords: Iterable[str]) -> List[str]:
         """Return ids of documents containing every query keyword."""
+        self.finalize()
         doc_sets: List[set] = []
         for keyword in keywords:
             for token in tokenize(keyword):
-                doc_sets.append({posting.doc_id for posting in self._postings.get(token, [])})
+                doc_sets.append(set(self._doc_ranges.get(token, {})))
         if not doc_sets:
             return []
-        common = set.intersection(*doc_sets) if doc_sets else set()
+        common = set.intersection(*doc_sets)
         return sorted(common)

@@ -112,8 +112,14 @@ class CorpusStatistics:
             if value and len(values) < self._MAX_TRACKED_VALUES:
                 values.add(value)
             summary.distinct_values = len(values)
+        # Keep term extraction aligned with InvertedIndex._node_terms: tag
+        # names, direct text and attribute values all produce postings, so all
+        # three must count towards document frequencies or TF-IDF would treat
+        # attribute-only terms as absent from the corpus.
         document_terms.update(tokenize(node.tag or ""))
         document_terms.update(tokenize(node.direct_text()))
+        for value in node.attributes.values():
+            document_terms.update(tokenize(value))
 
         # Sibling repetition: group the element children by tag.
         tag_counts: Dict[str, int] = {}

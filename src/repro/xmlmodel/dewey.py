@@ -57,7 +57,19 @@ class DeweyLabel:
     @classmethod
     def root(cls) -> "DeweyLabel":
         """Return the label of a document root (the empty label)."""
-        return cls(())
+        return _ROOT
+
+    @classmethod
+    def _from_validated(cls, components: Tuple[int, ...]) -> "DeweyLabel":
+        """Internal fast path: wrap an already-validated component tuple.
+
+        Labels derived from existing labels (children, parents, LCAs) are
+        built from components that were validated on first construction, so
+        re-checking them on every derivation would only burn the hot path.
+        """
+        label = cls.__new__(cls)
+        label._components = components
+        return label
 
     @classmethod
     def parse(cls, text: str) -> "DeweyLabel":
@@ -76,7 +88,7 @@ class DeweyLabel:
         """Return the label of this node's ``offset``-th child."""
         if offset < 0:
             raise DeweyError(f"negative child offset: {offset}")
-        return DeweyLabel(self._components + (offset,))
+        return DeweyLabel._from_validated(self._components + (int(offset),))
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -106,12 +118,12 @@ class DeweyLabel:
         """
         if not self._components:
             raise DeweyError("the root label has no parent")
-        return DeweyLabel(self._components[:-1])
+        return DeweyLabel._from_validated(self._components[:-1])
 
     def ancestors(self) -> Iterator["DeweyLabel"]:
         """Yield every proper ancestor label, from the root downwards."""
         for length in range(len(self._components)):
-            yield DeweyLabel(self._components[:length])
+            yield DeweyLabel._from_validated(self._components[:length])
 
     # ------------------------------------------------------------------ #
     # Relationships
@@ -132,7 +144,7 @@ class DeweyLabel:
     def lca(self, other: "DeweyLabel") -> "DeweyLabel":
         """Return the lowest common ancestor label of ``self`` and ``other``."""
         length = common_prefix_length(self._components, other._components)
-        return DeweyLabel(self._components[:length])
+        return DeweyLabel._from_validated(self._components[:length])
 
     # ------------------------------------------------------------------ #
     # Dunder protocol
@@ -164,6 +176,9 @@ class DeweyLabel:
 
     def __repr__(self) -> str:
         return f"DeweyLabel('{self}')"
+
+
+_ROOT = DeweyLabel(())
 
 
 def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:

@@ -263,10 +263,27 @@ class XMLNode:
     # Subtree operations
     # ------------------------------------------------------------------ #
     def copy(self) -> "XMLNode":
-        """Return a deep copy of this subtree, detached and re-labelled."""
+        """Return a deep copy of this subtree, detached and re-labelled.
+
+        Labels are assigned in a single pass (each node's label is derived
+        from its already-copied parent), avoiding the repeated subtree
+        relabelling that per-child :meth:`append_child` calls would cost.
+        """
         clone = XMLNode(tag=self.tag, text=self.text, attributes=dict(self.attributes), kind=self.kind)
-        for child in self.children:
-            clone.append_child(child.copy())
+        stack = [(self, clone)]
+        while stack:
+            source, target = stack.pop()
+            for offset, child in enumerate(source.children):
+                child_clone = XMLNode(
+                    tag=child.tag,
+                    text=child.text,
+                    attributes=dict(child.attributes),
+                    kind=child.kind,
+                )
+                child_clone.parent = target
+                child_clone.label = target.label.child(offset)
+                target.children.append(child_clone)
+                stack.append((child, child_clone))
         return clone
 
     def size(self) -> int:

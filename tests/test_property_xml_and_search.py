@@ -2,9 +2,11 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.storage.inverted_index import Posting
+from repro.storage.document_store import DocumentStore
+from repro.storage.inverted_index import InvertedIndex, Posting
 from repro.storage.tokenizer import tokenize
-from repro.search.slca import compute_slca, compute_slca_scan
+from repro.search.elca import compute_elca, compute_elca_scan
+from repro.search.slca import compute_slca, compute_slca_merge, compute_slca_scan
 from repro.xmlmodel.builder import TreeBuilder
 from repro.xmlmodel.dewey import DeweyLabel, common_ancestor_label
 from repro.xmlmodel.parser import parse_xml
@@ -158,3 +160,71 @@ class TestSlcaProperties:
                     and result.label.is_ancestor_or_self_of(posting.label)
                     for posting in postings
                 )
+
+    @settings(max_examples=80, deadline=None)
+    @given(posting_lists)
+    def test_merge_slca_matches_scan_oracle(self, lists):
+        assert compute_slca_merge(lists) == compute_slca_scan(lists)
+
+
+# --------------------------------------------------------------------------- #
+# ELCA properties: the fast stack-merge vs the brute-force oracle
+# --------------------------------------------------------------------------- #
+class TestElcaProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(posting_lists)
+    def test_fast_elca_matches_scan_oracle(self, lists):
+        assert compute_elca(lists) == compute_elca_scan(lists)
+
+    @settings(max_examples=80, deadline=None)
+    @given(posting_lists)
+    def test_slca_is_subset_of_elca(self, lists):
+        assert set(compute_slca(lists)) <= set(compute_elca(lists))
+
+    @settings(max_examples=80, deadline=None)
+    @given(posting_lists)
+    def test_every_elca_contains_all_keywords(self, lists):
+        for result in compute_elca(lists):
+            for postings in lists:
+                assert any(
+                    posting.doc_id == result.doc_id
+                    and result.label.is_ancestor_or_self_of(posting.label)
+                    for posting in postings
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Differential tests on randomized corpora (real index, real posting lists)
+# --------------------------------------------------------------------------- #
+@st.composite
+def indexed_corpora(draw):
+    """A random multi-document corpus plus query keywords from its vocabulary."""
+    trees = draw(st.lists(xml_trees(), min_size=1, max_size=3))
+    store = DocumentStore()
+    for position, tree in enumerate(trees):
+        store.add(f"doc{position}", tree)
+    index = InvertedIndex.build(store)
+    vocabulary = index.vocabulary()
+    keywords = draw(
+        st.lists(st.sampled_from(vocabulary), min_size=1, max_size=3, unique=True)
+    )
+    return index, keywords
+
+
+class TestSearchAlgorithmsOnRandomCorpora:
+    @settings(max_examples=50, deadline=None)
+    @given(indexed_corpora())
+    def test_fast_algorithms_match_oracles(self, corpus_and_keywords):
+        index, keywords = corpus_and_keywords
+        lists = index.keyword_node_lists(keywords)
+        oracle_slca = compute_slca_scan(lists)
+        assert compute_slca(lists) == oracle_slca
+        assert compute_slca_merge(lists) == oracle_slca
+        assert compute_elca(lists) == compute_elca_scan(lists)
+
+    @settings(max_examples=50, deadline=None)
+    @given(indexed_corpora())
+    def test_posting_lists_are_sorted_in_document_order(self, corpus_and_keywords):
+        index, keywords = corpus_and_keywords
+        for postings in index.keyword_node_lists(keywords):
+            assert postings == sorted(postings)

@@ -161,6 +161,137 @@ class TestSearchEngine:
             result_set.by_id("R99")
 
 
+class TestRankingBugfixes:
+    def test_attribute_only_match_scores_nonzero(self):
+        # Regression: the index posts attribute-value tokens, but ranking used
+        # to ignore them — a result matched only via an attribute got tf=0.
+        store = DocumentStore()
+        store.add("d", parse_xml('<item kind="waterproof"><name>Jacket</name></item>'))
+        corpus = Corpus(store)
+        subtree = corpus.store.get("d").root.copy()
+        query = KeywordQuery.parse("waterproof")
+        assert tf_idf_score(subtree, query, corpus.statistics) > 0.0
+
+    def test_attribute_match_is_searchable_and_ranked(self):
+        store = DocumentStore()
+        store.add("d1", parse_xml('<item kind="waterproof"><name>Alpha Jacket</name></item>'))
+        store.add("d2", parse_xml("<item><name>Beta Jacket</name></item>"))
+        engine = SearchEngine(Corpus(store))
+        result_set = engine.search("waterproof")
+        assert len(result_set) == 1
+        assert result_set[0].doc_id == "d1"
+        assert result_set[0].score > 0.0
+
+
+class TestResultTitleFallback:
+    def test_all_descendants_are_tried(self):
+        # Regression: only descendants[0] per tag was inspected, so an empty
+        # first <name> hid every later name-like descendant.
+        subtree = parse_xml(
+            "<products><entry><name></name></entry>"
+            "<entry><name>Alpha</name></entry></products>"
+        )
+        assert SearchEngine._result_title(subtree, "d") == "Alpha"
+
+    def test_doc_id_fallback_when_no_title_text_anywhere(self):
+        subtree = parse_xml("<products><entry><name></name></entry></products>")
+        assert SearchEngine._result_title(subtree, "d") == "d:products"
+
+
+class TestSearchEngineCache:
+    def test_repeated_query_hits_cache_with_identical_results(self):
+        engine = SearchEngine(product_corpus())
+        first = engine.search("gps")
+        second = engine.search("gps")
+        assert engine.cache_hits == 1
+        assert engine.cache_misses == 1
+        assert [r.result_id for r in first] == [r.result_id for r in second]
+        assert [r.doc_id for r in first] == [r.doc_id for r in second]
+        assert [r.score for r in first] == [r.score for r in second]
+
+    def test_equivalent_spellings_share_one_entry(self):
+        engine = SearchEngine(product_corpus())
+        engine.search("TomTom, GPS")
+        engine.search("tomtom gps")
+        engine.search(KeywordQuery.of(["tomtom", "gps"]))
+        engine.search("gps tomtom")  # permuted order, provably same results
+        assert engine.cache_misses == 1
+        assert engine.cache_hits == 3
+
+    def test_permuted_keywords_return_identical_results(self):
+        engine = SearchEngine(product_corpus(), cache_size=0)
+        a = engine.search("tomtom gps")
+        b = engine.search("gps tomtom")
+        assert [r.doc_id for r in a] == [r.doc_id for r in b]
+        assert [r.score for r in a] == [r.score for r in b]
+
+    def test_cached_results_are_fresh_copies(self):
+        engine = SearchEngine(product_corpus())
+        first = engine.search("tomtom gps")[0]
+        first.subtree.find_child("name").children[0].text = "mutated"
+        second = engine.search("tomtom gps")[0]
+        assert engine.cache_hits == 1
+        assert "mutated" not in second.subtree.text_content()
+
+    def test_cache_invalidated_by_corpus_mutation(self):
+        corpus = product_corpus()
+        engine = SearchEngine(corpus)
+        assert len(engine.search("gps")) == 2
+        corpus.add_document(
+            "p3", parse_xml("<product><name>Magellan GPS</name></product>")
+        )
+        assert len(engine.search("gps")) == 3
+        corpus.store.remove("p3")
+        corpus.refresh()
+        assert len(engine.search("gps")) == 2
+
+    def test_limits_share_one_cache_entry(self):
+        engine = SearchEngine(product_corpus())
+        full = engine.search("gps")
+        top1 = engine.search("gps", limit=1)
+        assert engine.cache_misses == 1
+        assert engine.cache_hits == 1
+        assert len(top1) == 1
+        assert top1[0].doc_id == full[0].doc_id
+
+    def test_lru_eviction(self):
+        engine = SearchEngine(product_corpus(), cache_size=1)
+        engine.search("gps")
+        engine.search("tomtom")
+        engine.search("gps")
+        assert engine.cache_misses == 3
+        assert engine.cache_hits == 0
+
+    def test_cache_disabled(self):
+        engine = SearchEngine(product_corpus(), cache_size=0)
+        engine.search("gps")
+        engine.search("gps")
+        assert engine.cache_hits == 0
+        assert engine.cache_misses == 0
+
+    def test_unnormalized_query_evaluates_like_its_cache_twin(self):
+        # Regression: a directly-constructed, un-tokenised query must produce
+        # the same scores and order whether it is evaluated cold or served
+        # from a cache entry created by a normalised spelling.
+        cold_engine = SearchEngine(product_corpus(), cache_size=0)
+        warm_engine = SearchEngine(product_corpus())
+        raw_query = KeywordQuery(keywords=("GPS",), raw="GPS")
+        warm_engine.search("gps")  # populate the cache under the shared key
+        cold = cold_engine.search(raw_query)
+        warm = warm_engine.search(raw_query)
+        assert warm_engine.cache_hits == 1
+        assert [r.doc_id for r in cold] == [r.doc_id for r in warm]
+        assert [r.score for r in cold] == [r.score for r in warm]
+        assert cold[0].score > 0.0
+
+    def test_clear_cache(self):
+        engine = SearchEngine(product_corpus())
+        engine.search("gps")
+        engine.clear_cache()
+        engine.search("gps")
+        assert engine.cache_misses == 2
+
+
 class TestSearchOnGeneratedCorpus:
     def test_tomtom_query_returns_products(self, product_engine):
         result_set = product_engine.search("tomtom gps")

@@ -156,6 +156,66 @@ class TestInvertedIndex:
         index = InvertedIndex.build(store)
         assert index.collection_frequency("waterproof") == 1
 
+    def test_duplicate_doc_id_rejected_without_side_effects(self):
+        # Regression: re-adding a doc_id used to duplicate postings and
+        # double-count document frequencies.
+        store = sample_store()
+        index = InvertedIndex.build(store)
+        postings_before = index.postings("gps")
+        with pytest.raises(IndexError_):
+            index.add_document("d1", store.get("d1").root)
+        assert index.postings("gps") == postings_before
+        assert index.document_frequency("gps") == 2
+        assert index.documents_indexed == 2
+
+    def test_incremental_adds_keep_postings_sorted(self):
+        # Documents added out of lexicographic id order must still yield
+        # globally sorted posting lists after the lazy finalize.
+        index = InvertedIndex()
+        index.add_document("z", parse_xml("<product><name>Shared GPS</name></product>"))
+        index.add_document("a", parse_xml("<product><name>Shared GPS</name></product>"))
+        index.add_document("m", parse_xml("<product><name>Shared GPS</name></product>"))
+        assert [p.doc_id for p in index.postings("gps")] == ["a", "m", "z"]
+        assert [p.doc_id for p in index.postings("shared")] == ["a", "m", "z"]
+
+    def test_postings_for_document_uses_offset_slices(self):
+        store = DocumentStore()
+        store.add("a", parse_xml("<r><x>gps</x><x>gps</x></r>"))
+        store.add("b", parse_xml("<r><x>gps</x></r>"))
+        index = InvertedIndex.build(store)
+        assert len(index.postings_for_document("gps", "a")) == 2
+        assert len(index.postings_for_document("gps", "b")) == 1
+        assert index.postings_for_document("gps", "missing") == []
+        assert index.postings_for_document("absentterm", "a") == []
+
+    def test_keyword_node_lists_copies_are_safe_to_mutate(self):
+        # The public form returns copies, so caller mutation cannot corrupt
+        # the index; copy=False exists for trusted read-only hot paths.
+        index = InvertedIndex.build(sample_store())
+        lists = index.keyword_node_lists(["gps"])
+        lists[0].clear()
+        assert len(index.postings("gps")) == 2
+        views = index.keyword_node_lists(["gps"], copy=False)
+        assert views[0] == index.postings("gps")
+
+    def test_keyword_node_lists_are_stable_snapshots(self):
+        # Regression: the internal buckets are copy-on-write, so even a
+        # zero-copy view handed out before a mutation must not change under
+        # its holder.
+        index = InvertedIndex.build(sample_store())
+        held = index.keyword_node_lists(["gps"], copy=False)[0]
+        snapshot = list(held)
+        index.add_document("d3", parse_xml("<product><name>Magellan GPS</name></product>"))
+        assert len(index.postings("gps")) == 3  # triggers finalize of the new state
+        assert held == snapshot
+
+    def test_finalize_is_idempotent_and_lazy(self):
+        index = InvertedIndex()
+        index.add_document("d", parse_xml("<product><name>TomTom</name></product>"))
+        index.finalize()
+        index.finalize()
+        assert [p.doc_id for p in index.postings("tomtom")] == ["d"]
+
 
 class TestCorpusStatistics:
     def test_path_counts(self):
@@ -183,6 +243,16 @@ class TestCorpusStatistics:
         assert stats.document_count == 2
         assert stats.total_elements == 6
         assert stats.average_document_elements == 3.0
+
+    def test_attribute_values_counted_in_document_frequency(self):
+        # Regression: statistics must tokenise attribute values like the
+        # inverted index does, or attribute-only terms get a df of 0 and the
+        # maximum possible idf.
+        store = DocumentStore()
+        store.add("d1", parse_xml('<item kind="waterproof"><name>x</name></item>'))
+        store.add("d2", parse_xml('<item kind="waterproof"><name>y</name></item>'))
+        stats = CorpusStatistics.build(store)
+        assert stats.document_frequency("waterproof") == 2
 
     def test_distinct_values_tracked(self):
         stats = CorpusStatistics.build(sample_store())
@@ -216,3 +286,30 @@ class TestCorpus:
         corpus = Corpus.from_directory(tmp_path)
         assert len(corpus.store) == 2
         assert corpus.name == tmp_path.name
+
+    def test_add_document_rolls_back_store_when_index_rejects(self):
+        # Direct store.remove leaves the id in the index; the next
+        # corpus.add_document of that id must fail without splitting the
+        # store and the index apart.
+        corpus = Corpus(sample_store())
+        corpus.store.remove("d1")
+        with pytest.raises(IndexError_):
+            corpus.add_document("d1", parse_xml("<product><name>New</name></product>"))
+        assert "d1" not in corpus.store
+        assert corpus.version == 0
+
+    def test_version_bumps_on_refresh(self):
+        corpus = Corpus(sample_store())
+        assert corpus.version == 0
+        corpus.refresh()
+        assert corpus.version == 1
+
+    def test_incremental_add_document_updates_index_and_statistics(self):
+        corpus = Corpus(sample_store())
+        version_before = corpus.version
+        corpus.add_document("d3", parse_xml("<product><name>Magellan GPS</name></product>"))
+        assert corpus.version == version_before + 1
+        assert corpus.index.document_frequency("magellan") == 1
+        assert corpus.index.document_frequency("gps") == 3
+        assert corpus.statistics.document_count == 3
+        assert [p.doc_id for p in corpus.index.postings("gps")] == ["d1", "d2", "d3"]
