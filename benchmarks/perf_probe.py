@@ -1,0 +1,64 @@
+"""Ad-hoc timing probe used to fill the ROADMAP performance table.
+
+Run with ``PYTHONPATH=src python benchmarks/perf_probe.py``; not collected by
+pytest (no ``test_`` prefix).  Times index build and cold query latency on the
+same IMDB corpora as ``test_search_hot_path.py`` so before/after rows are
+comparable across PRs.
+"""
+
+import time
+
+from repro.datasets.imdb import ImdbConfig, generate_imdb_corpus
+from repro.search.engine import SearchEngine
+from repro.storage.inverted_index import InvertedIndex
+
+
+def best_of(call, rounds=5):
+    timings = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        call()
+        timings.append(time.perf_counter() - start)
+    return min(timings) * 1000
+
+
+def main() -> None:
+    corpus_200 = generate_imdb_corpus(ImdbConfig(num_movies=200))
+    corpus_1000 = generate_imdb_corpus(ImdbConfig(num_movies=1000))
+
+    print(f"build 200:  {best_of(lambda: InvertedIndex.build(corpus_200.store), 3):.1f} ms")
+    print(f"build 1000: {best_of(lambda: InvertedIndex.build(corpus_1000.store), 3):.1f} ms")
+
+    def cold(corpus, semantics):
+        engine = SearchEngine(corpus, semantics=semantics, cache_size=0)
+        return engine.search("drama war")
+
+    print(f"cold slca 200: {best_of(lambda: cold(corpus_200, 'slca')):.1f} ms")
+    print(f"cold elca 200: {best_of(lambda: cold(corpus_200, 'elca')):.1f} ms")
+
+    # Incremental removal vs full rebuild, 1000 movies: remove one document
+    # and answer a query on the shrunk corpus.
+    # Resolve the victim once: remove + re-add moves it to the end of the
+    # store's insertion order, so indexing per call would time a different
+    # document each round.
+    victim = corpus_1000.store.document_ids()[500]
+    root = corpus_1000.store.get(victim).root
+
+    def remove_then_query(incremental):
+        start = time.perf_counter()
+        if incremental:
+            corpus_1000.remove_document(victim)
+        else:
+            corpus_1000.store.remove(victim)
+            corpus_1000.refresh()
+        SearchEngine(corpus_1000, cache_size=0).search("drama war")
+        elapsed = (time.perf_counter() - start) * 1000
+        corpus_1000.add_document(victim, root)
+        return elapsed
+
+    print(f"remove+query 1000, incremental: {min(remove_then_query(True) for _ in range(3)):.1f} ms")
+    print(f"remove+query 1000, full rebuild: {min(remove_then_query(False) for _ in range(3)):.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

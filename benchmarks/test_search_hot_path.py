@@ -6,7 +6,10 @@ dominant pattern under real traffic, served by the engine's LRU result cache.
 These benchmarks pin all three on the substrate-performance corpus so that
 regressions in the bulk build, the stack-merge match algorithms or the cache
 show up separately, and they register a cold-vs-cached comparison table with
-the shared :func:`report` fixture.
+the shared :func:`report` fixture.  Two storage-core cases ride along: a
+build into a shared (pre-populated) term dictionary, as a corpus rebuild
+would do, and incremental document removal followed by a cold query —
+the case a full index rebuild used to dominate.
 """
 
 import time
@@ -15,16 +18,63 @@ import pytest
 
 from repro.search.engine import SearchEngine
 from repro.storage.inverted_index import InvertedIndex
+from repro.storage.term_dictionary import TermDictionary
 
 HOT_QUERIES = ("drama war", "action revenge", "comedy family")
 
 
 def test_bulk_index_build(benchmark, imdb_corpus):
-    """Append-then-finalize build over the full IMDB store."""
+    """Append-then-finalize build over the full IMDB store (fresh dictionary)."""
     index = benchmark.pedantic(
         InvertedIndex.build, args=(imdb_corpus.store,), rounds=3, iterations=1
     )
     assert index.documents_indexed == len(imdb_corpus.store)
+
+
+def test_bulk_index_build_with_interned_dictionary(benchmark, imdb_corpus):
+    """Build into an already-populated shared dictionary (warm interning).
+
+    This is the rebuild path of a long-lived corpus: every token already has
+    an id, so interning is pure dictionary probes with no insertions.
+    """
+    dictionary = TermDictionary()
+    InvertedIndex.build(imdb_corpus.store, dictionary=dictionary)  # pre-populate
+
+    index = benchmark.pedantic(
+        InvertedIndex.build,
+        args=(imdb_corpus.store,),
+        kwargs={"dictionary": dictionary},
+        rounds=3,
+        iterations=1,
+    )
+    assert index.documents_indexed == len(imdb_corpus.store)
+
+
+def test_remove_document_then_cold_query(benchmark, imdb_corpus):
+    """Incremental removal of one document plus a cold query on the remainder.
+
+    Pre-interned-ids, this required a full index + statistics rebuild; now it
+    touches only the removed document's posting runs.  The removed document is
+    re-added after each round, so the session-scoped corpus is unchanged.
+    """
+    victim = imdb_corpus.store.document_ids()[len(imdb_corpus.store) // 2]
+    root = imdb_corpus.store.get(victim).root
+    # Each round starts from "victim present": the per-round setup re-adds
+    # what the previous round removed, so remove once up front to prime it.
+    imdb_corpus.remove_document(victim)
+
+    def remove_and_query():
+        imdb_corpus.remove_document(victim)
+        return SearchEngine(imdb_corpus, cache_size=0).search("drama war")
+
+    def restore():
+        imdb_corpus.add_document(victim, root)
+        return (), {}
+
+    result_set = benchmark.pedantic(remove_and_query, setup=restore, rounds=3, iterations=1)
+    imdb_corpus.add_document(victim, root)  # leave the session corpus intact
+    assert len(result_set) >= 1
+    assert victim in imdb_corpus.store
 
 
 @pytest.mark.parametrize("query", HOT_QUERIES)

@@ -1,0 +1,11 @@
+"""Setuptools shim for legacy editable installs.
+
+All metadata lives in ``pyproject.toml``; this file exists because
+``pip install -e .`` on environments without the ``wheel`` package (PEP 660
+editable builds require it) falls back to the classic ``setup.py develop``
+path, which needs this stub.
+"""
+
+from setuptools import setup
+
+setup()

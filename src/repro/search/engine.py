@@ -17,6 +17,16 @@ Cache entries are pristine: every ``search`` call returns fresh subtree copies,
 so callers may annotate or prune their results without polluting later hits.
 The cache is invalidated wholesale whenever the corpus
 :attr:`~repro.storage.corpus.Corpus.version` changes.
+
+The cache is bounded two ways: ``cache_size`` caps the number of entries, and
+``cache_max_results`` caps the *total number of cached results* summed over
+all entries.  The second bound is the one that actually limits memory — each
+cached result pins a full return-subtree copy, and a single broad query can
+produce thousands of them, so an entry count alone would let a handful of
+broad queries hold an unbounded slice of the corpus in memory.  When an
+insertion pushes the total over the budget, least-recently-used entries are
+evicted until it fits; a single result list larger than the whole budget is
+simply not retained.
 """
 
 from __future__ import annotations
@@ -54,6 +64,11 @@ class SearchEngine:
     cache_size:
         Maximum number of distinct queries whose ranked results are kept in
         the LRU cache; ``0`` disables caching entirely.
+    cache_max_results:
+        Maximum *total* number of cached results summed across all entries —
+        the memory bound, since every cached result holds a subtree copy.
+        ``None`` leaves only the entry-count bound.  A single result list
+        exceeding the whole budget is not cached at all.
     """
 
     def __init__(
@@ -61,13 +76,16 @@ class SearchEngine:
         corpus: Corpus,
         semantics: Literal["slca", "elca"] = "slca",
         cache_size: int = 128,
+        cache_max_results: Optional[int] = 4096,
     ):
         if semantics not in ("slca", "elca"):
             raise SearchError(f"unknown result semantics: {semantics!r}")
         self.corpus = corpus
         self.semantics = semantics
         self.cache_size = cache_size
+        self.cache_max_results = cache_max_results
         self._cache: "OrderedDict[Tuple[Tuple[str, ...], str], List[SearchResult]]" = OrderedDict()
+        self._cached_results_total = 0
         self._cache_version = getattr(corpus, "version", None)
         self.cache_hits = 0
         self.cache_misses = 0
@@ -103,6 +121,7 @@ class SearchEngine:
     def clear_cache(self) -> None:
         """Drop every cached query result."""
         self._cache.clear()
+        self._cached_results_total = 0
 
     # ------------------------------------------------------------------ #
     # Caching
@@ -123,7 +142,7 @@ class SearchEngine:
 
         version = getattr(self.corpus, "version", None)
         if version != self._cache_version:
-            self._cache.clear()
+            self.clear_cache()
             self._cache_version = version
 
         key = (query.cache_key, self.semantics)
@@ -135,9 +154,21 @@ class SearchEngine:
         self.cache_misses += 1
         ranked = self._evaluate(query)
         self._cache[key] = ranked
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-        return ranked, True
+        self._cached_results_total += len(ranked)
+        while self._cache and (
+            len(self._cache) > self.cache_size
+            or (
+                self.cache_max_results is not None
+                and self._cached_results_total > self.cache_max_results
+            )
+        ):
+            # LRU eviction under either bound; an oversized ranked list can
+            # evict everything including itself, so it is never retained.
+            _, evicted = self._cache.popitem(last=False)
+            self._cached_results_total -= len(evicted)
+        # If the new list itself was evicted (oversized), nothing aliases it:
+        # hand it out unshared so search() skips the defensive clones.
+        return ranked, key in self._cache
 
     @staticmethod
     def _clone_result(result: SearchResult) -> SearchResult:

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.errors import QueryError
-from repro.storage.tokenizer import tokenize
+from repro.storage.tokenizer import tokenize, tokenize_many
 
 __all__ = ["KeywordQuery"]
 
@@ -22,12 +22,10 @@ def _flatten_and_dedupe(keywords: Sequence[str]) -> List[str]:
 
     The single source of truth for keyword normalisation: construction via
     :meth:`KeywordQuery.of` and the cache identity in
-    :attr:`KeywordQuery.normalized_keywords` must always agree.
+    :attr:`KeywordQuery.normalized_keywords` must always agree.  Uses the
+    batch tokeniser: one regex pass over all keywords, order preserved.
     """
-    flattened: List[str] = []
-    for keyword in keywords:
-        flattened.extend(tokenize(keyword))
-    return list(dict.fromkeys(flattened))
+    return list(dict.fromkeys(tokenize_many(keywords)))
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,13 @@ and the "top n results" experiments are well defined.  The score is a standard
 TF-IDF sum over the query keywords, computed against the result subtree, with a
 mild size normalisation so that gigantic subtrees do not win on raw term count
 alone.
+
+The per-query work is resolved once, up front: :func:`query_idf_weights` turns
+the normalised keywords into a keyword→idf table (one statistics lookup per
+keyword per *query*, not per result), and the per-result pass then only counts
+occurrences of those keywords inside the subtree — node texts are tokenised by
+one batch :func:`~repro.storage.tokenizer.tokenize_many` pass per node and
+non-query tokens are discarded by a set probe instead of being accumulated.
 """
 
 from __future__ import annotations
@@ -16,30 +23,65 @@ from typing import Dict, List, Sequence
 from repro.search.query import KeywordQuery
 from repro.search.result import SearchResult
 from repro.storage.statistics import CorpusStatistics
-from repro.storage.tokenizer import tokenize
+from repro.storage.tokenizer import tokenize_many
 from repro.xmlmodel.node import XMLNode
 
-__all__ = ["tf_idf_score", "rank_results"]
+__all__ = ["query_idf_weights", "tf_idf_score", "rank_results"]
 
 
-def _term_frequencies(subtree: XMLNode) -> Dict[str, int]:
-    """Count keyword occurrences the same way the inverted index posts them.
+def query_idf_weights(
+    query: KeywordQuery, statistics: CorpusStatistics
+) -> Dict[str, float]:
+    """Resolve a query's keywords to their idf weights, once per query.
+
+    ``idf`` is computed from document frequencies in the corpus statistics;
+    the returned mapping is the entire query-dependent part of the score, so
+    ranking a result list performs exactly one statistics lookup per keyword.
+    """
+    document_count = max(statistics.document_count, 1)
+    weights: Dict[str, float] = {}
+    for keyword in query.normalized_keywords:
+        document_frequency = statistics.document_frequency(keyword)
+        weights[keyword] = (
+            math.log((document_count + 1) / (document_frequency + 1)) + 1.0
+        )
+    return weights
+
+
+def _query_term_frequencies(subtree: XMLNode, wanted: Dict[str, float]) -> Dict[str, int]:
+    """Count query-keyword occurrences the same way the inverted index posts them.
 
     Tag names, direct text *and* attribute values all contribute — the index
-    (:meth:`~repro.storage.inverted_index.InvertedIndex._node_terms`) matches
-    on all three, so a result matched only via an attribute value must still
-    score a non-zero term frequency here.
+    (:meth:`~repro.storage.inverted_index.InvertedIndex._node_term_ids`)
+    matches on all three, so a result matched only via an attribute value must
+    still score a non-zero term frequency here.  Only tokens present in
+    ``wanted`` (the query keywords) are counted.
     """
     counts: Dict[str, int] = {}
     for node in subtree.iter_elements():
-        for token in tokenize(node.tag or ""):
-            counts[token] = counts.get(token, 0) + 1
-        for token in tokenize(node.direct_text()):
-            counts[token] = counts.get(token, 0) + 1
-        for value in node.attributes.values():
-            for token in tokenize(value):
+        texts = [node.tag or ""]
+        direct = node.direct_text()
+        if direct:
+            texts.append(direct)
+        if node.attributes:
+            texts.extend(node.attributes.values())
+        for token in tokenize_many(texts):
+            if token in wanted:
                 counts[token] = counts.get(token, 0) + 1
     return counts
+
+
+def _score_subtree(subtree: XMLNode, weights: Dict[str, float]) -> float:
+    """Score one subtree against precomputed keyword idf weights."""
+    frequencies = _query_term_frequencies(subtree, weights)
+    score = 0.0
+    for keyword, idf in weights.items():
+        term_frequency = frequencies.get(keyword, 0)
+        if term_frequency == 0:
+            continue
+        score += (1.0 + math.log(term_frequency)) * idf
+    normaliser = math.log(2 + subtree.count_elements())
+    return score / normaliser if normaliser else score
 
 
 def tf_idf_score(
@@ -52,22 +94,11 @@ def tf_idf_score(
     ``tf`` is the keyword count inside the subtree (log-dampened), ``idf`` is
     computed from document frequencies in the corpus statistics, and the final
     sum is divided by ``log(2 + subtree element count)`` to normalise for size.
+    Scores are computed over the normalised keyword view so that spelling
+    variants of the same query (and directly-constructed un-tokenised queries)
+    evaluate identically — the engine's cache relies on this.
     """
-    frequencies = _term_frequencies(subtree)
-    document_count = max(statistics.document_count, 1)
-    score = 0.0
-    # Score over the normalised keyword view so that spelling variants of the
-    # same query (and directly-constructed un-tokenised queries) evaluate
-    # identically — the engine's cache relies on this.
-    for keyword in query.normalized_keywords:
-        term_frequency = frequencies.get(keyword, 0)
-        if term_frequency == 0:
-            continue
-        document_frequency = statistics.document_frequency(keyword)
-        idf = math.log((document_count + 1) / (document_frequency + 1)) + 1.0
-        score += (1.0 + math.log(term_frequency)) * idf
-    normaliser = math.log(2 + subtree.count_elements())
-    return score / normaliser if normaliser else score
+    return _score_subtree(subtree, query_idf_weights(query, statistics))
 
 
 def rank_results(
@@ -80,8 +111,9 @@ def rank_results(
     Ties are broken by (document id, match label) so the ordering is total and
     deterministic across runs.
     """
+    weights = query_idf_weights(query, statistics)
     for result in results:
-        result.score = tf_idf_score(result.subtree, query, statistics)
+        result.score = _score_subtree(result.subtree, weights)
     return sorted(
         results,
         key=lambda result: (-result.score, result.doc_id, result.match_label),

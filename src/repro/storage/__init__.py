@@ -12,12 +12,16 @@ paper).  That engine needs three storage-level services, all provided here:
 * :class:`~repro.storage.statistics.CorpusStatistics` — tag-path and keyword
   frequency summaries (a DataGuide-style structural summary) used by ranking and
   by the entity classifier.
+* :class:`~repro.storage.term_dictionary.TermDictionary` — interns tokens to
+  dense integer term ids; the index and statistics of one corpus share a
+  dictionary so every per-term table is keyed by ints, not strings.
 """
 
 from repro.storage.document_store import DocumentStore, StoredDocument
 from repro.storage.inverted_index import InvertedIndex, Posting
 from repro.storage.statistics import CorpusStatistics, PathSummary
-from repro.storage.tokenizer import STOPWORDS, tokenize
+from repro.storage.term_dictionary import TermDictionary
+from repro.storage.tokenizer import STOPWORDS, tokenize, tokenize_many
 
 from repro.storage.corpus import Corpus
 
@@ -28,7 +32,9 @@ __all__ = [
     "Posting",
     "CorpusStatistics",
     "PathSummary",
+    "TermDictionary",
     "Corpus",
     "tokenize",
+    "tokenize_many",
     "STOPWORDS",
 ]

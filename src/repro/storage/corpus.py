@@ -1,16 +1,21 @@
 """The :class:`Corpus` convenience bundle.
 
-A corpus ties together the three storage-layer pieces that the search engine
-and the experiments always use together: the document store, its inverted
-index and its statistics.  Building the index and statistics eagerly keeps the
-rest of the code free of "is the index stale?" bookkeeping — dataset generators
-produce a store, wrap it in a corpus once, and hand the corpus around.
+A corpus ties together the storage-layer pieces that the search engine and the
+experiments always use together: the document store, its inverted index, its
+statistics, and the :class:`~repro.storage.term_dictionary.TermDictionary`
+shared by the latter two.  Sharing one dictionary means index and statistics
+agree on every term id, so query evaluation resolves each keyword to an id
+once and both tables answer with integer keys.  Building the index and
+statistics eagerly keeps the rest of the code free of "is the index stale?"
+bookkeeping — dataset generators produce a store, wrap it in a corpus once,
+and hand the corpus around.
 
 The corpus also carries a monotonically increasing :attr:`Corpus.version`
 counter, bumped by every mutation that goes through the corpus
-(:meth:`add_document`, :meth:`refresh`).  Consumers that cache derived data —
-most importantly the :class:`~repro.search.engine.SearchEngine` query cache —
-compare versions instead of re-validating the store contents.
+(:meth:`add_document`, :meth:`remove_document`, :meth:`refresh`).  Consumers
+that cache derived data — most importantly the
+:class:`~repro.search.engine.SearchEngine` query cache — compare versions
+instead of re-validating the store contents.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from typing import Dict, Optional, Union
 from repro.storage.document_store import DocumentStore
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.statistics import CorpusStatistics
+from repro.storage.term_dictionary import TermDictionary
 from repro.xmlmodel.node import XMLNode
 
 __all__ = ["Corpus"]
@@ -32,8 +38,9 @@ class Corpus:
     def __init__(self, store: DocumentStore, name: str = "corpus"):
         self.name = name
         self.store = store
-        self.index = InvertedIndex.build(store)
-        self.statistics = CorpusStatistics.build(store)
+        self.dictionary = TermDictionary()
+        self.index = InvertedIndex.build(store, dictionary=self.dictionary)
+        self.statistics = CorpusStatistics.build(store, dictionary=self.dictionary)
         self.version = 0
 
     @classmethod
@@ -70,10 +77,45 @@ class Corpus:
             raise
         self.version += 1
 
+    def remove_document(self, doc_id: str) -> None:
+        """Remove one document, updating index and statistics incrementally.
+
+        The mirror image of :meth:`add_document`, with the same atomic and
+        version semantics: on success the index postings, document
+        frequencies and path summaries are exactly what a fresh build over
+        the remaining documents would produce, and :attr:`version` is bumped
+        so cached query results are invalidated.  On failure the corpus is
+        left consistent (falling back to a full :meth:`refresh` if an
+        incremental step died midway).
+
+        Raises
+        ------
+        DocumentNotFoundError
+            If ``doc_id`` is not in the corpus.  The corpus is unchanged.
+        """
+        document = self.store.get(doc_id)  # raises before any mutation
+        self.index.remove_document(doc_id)
+        try:
+            self.statistics.remove_document(document.root)
+            self.store.remove(doc_id)
+        except Exception:
+            # Statistics subtraction has no incremental undo; the store still
+            # holds whatever should remain, so rebuild from it (refresh also
+            # bumps the version, keeping caches honest about the mutation).
+            self.refresh()
+            raise
+        self.version += 1
+
     def refresh(self) -> None:
-        """Rebuild the index and statistics after the store was modified."""
-        self.index = InvertedIndex.build(self.store)
-        self.statistics = CorpusStatistics.build(self.store)
+        """Rebuild the index and statistics after the store was modified.
+
+        A fresh :class:`TermDictionary` is built as well, so term ids are
+        *not* stable across a refresh — nothing outside the corpus holds ids
+        across mutations (the engine's cache is version-guarded).
+        """
+        self.dictionary = TermDictionary()
+        self.index = InvertedIndex.build(self.store, dictionary=self.dictionary)
+        self.statistics = CorpusStatistics.build(self.store, dictionary=self.dictionary)
         self.version += 1
 
     def describe(self) -> Dict[str, float]:

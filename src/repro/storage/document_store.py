@@ -67,11 +67,18 @@ class DocumentStore:
         self._documents[doc_id] = document
         return document
 
-    def remove(self, doc_id: str) -> None:
-        """Remove a document; raises :class:`DocumentNotFoundError` if missing."""
-        if doc_id not in self._documents:
-            raise DocumentNotFoundError(doc_id)
-        del self._documents[doc_id]
+    def remove(self, doc_id: str) -> StoredDocument:
+        """Remove and return a document; raises :class:`DocumentNotFoundError`
+        if missing.
+
+        Returning the removed :class:`StoredDocument` lets callers that keep
+        derived state (the corpus's statistics need the tree to subtract it)
+        do so without a second lookup.
+        """
+        try:
+            return self._documents.pop(doc_id)
+        except KeyError:
+            raise DocumentNotFoundError(doc_id) from None
 
     def clear(self) -> None:
         """Remove every document."""

@@ -7,15 +7,32 @@ Two consumers need these statistics:
   siblings, which is a per-path aggregate computed here;
 * the ranking module (:mod:`repro.search.ranking`) needs document frequencies
   and average document sizes for TF-IDF style scores.
+
+Term document frequencies are keyed by interned term ids from a
+:class:`~repro.storage.term_dictionary.TermDictionary` — the same dictionary
+the :class:`~repro.storage.inverted_index.InvertedIndex` interns into when the
+two live inside one :class:`~repro.storage.corpus.Corpus` — so the ranking hot
+path resolves each query keyword to an id once and reads ints thereafter.
+
+Statistics support incremental *removal* as well as addition: every per-path
+aggregate is backed by bookkeeping rich enough to subtract one document
+exactly (multisets of sibling-run sizes for ``max_siblings``, value
+occurrence counters for ``distinct_values``), so
+:meth:`CorpusStatistics.remove_document` leaves the summary identical to a
+fresh build over the remaining documents — no rebuild needed.  The one
+documented approximation: ``distinct_values`` tracks at most
+``_MAX_TRACKED_VALUES`` distinct values per path, so beyond that cap removal
+cannot resurrect values the capped collection never recorded.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.storage.document_store import DocumentStore
-from repro.storage.tokenizer import tokenize
+from repro.storage.term_dictionary import TermDictionary
+from repro.storage.tokenizer import tokenize, tokenize_many
 from repro.xmlmodel.node import XMLNode
 
 __all__ = ["PathSummary", "CorpusStatistics"]
@@ -64,24 +81,47 @@ class PathSummary:
 
 
 class CorpusStatistics:
-    """Structural and term statistics over a document store."""
+    """Structural and term statistics over a document store.
+
+    Parameters
+    ----------
+    dictionary:
+        The :class:`TermDictionary` to intern tokens into; pass the corpus's
+        shared dictionary so statistics and index agree on term ids.  When
+        omitted the statistics own a private one.
+    """
 
     _MAX_TRACKED_VALUES = 1000
 
-    def __init__(self) -> None:
+    def __init__(self, dictionary: Optional[TermDictionary] = None) -> None:
+        self._dictionary = dictionary if dictionary is not None else TermDictionary()
         self._paths: Dict[Tuple[str, ...], PathSummary] = {}
-        self._path_values: Dict[Tuple[str, ...], set] = {}
-        self._term_document_frequency: Dict[str, int] = {}
+        # value -> occurrence count per path; len() is distinct_values, the
+        # counts make removal exact (a value disappears only when its last
+        # occurrence does).
+        self._path_values: Dict[Tuple[str, ...], Dict[str, int]] = {}
+        # sibling-run size -> observation count per path; max() is
+        # max_siblings, the multiset makes removal exact (the max survives
+        # unless its last witness run is removed).
+        self._path_sibling_runs: Dict[Tuple[str, ...], Dict[int, int]] = {}
+        self._term_document_frequency: Dict[int, int] = {}
         self._document_count = 0
         self._total_elements = 0
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term dictionary these statistics intern into."""
+        return self._dictionary
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def build(cls, store: DocumentStore) -> "CorpusStatistics":
+    def build(
+        cls, store: DocumentStore, dictionary: Optional[TermDictionary] = None
+    ) -> "CorpusStatistics":
         """Collect statistics over every document in ``store``."""
-        stats = cls()
+        stats = cls(dictionary)
         for document in store:
             stats.add_document(document.root)
         return stats
@@ -89,37 +129,82 @@ class CorpusStatistics:
     def add_document(self, root: XMLNode) -> None:
         """Fold one document tree into the statistics."""
         self._document_count += 1
-        document_terms: set = set()
-        self._visit(root, (), document_terms)
-        for term in document_terms:
-            self._term_document_frequency[term] = self._term_document_frequency.get(term, 0) + 1
+        document_terms: Set[int] = set()
+        self._fold(root, (), document_terms, +1)
+        frequency = self._term_document_frequency
+        for term_id in document_terms:
+            frequency[term_id] = frequency.get(term_id, 0) + 1
 
-    def _visit(self, node: XMLNode, parent_path: Tuple[str, ...], document_terms: set) -> None:
-        if not node.is_element:
-            return
-        path = parent_path + (node.tag,)
+    def remove_document(self, root: XMLNode) -> None:
+        """Subtract one previously-added document tree from the statistics.
+
+        The caller is responsible for passing a tree that was actually folded
+        in (the corpus does); the subtraction then restores exactly the state
+        a fresh build over the remaining documents would produce, up to the
+        ``distinct_values`` tracking cap.
+        """
+        self._document_count -= 1
+        document_terms: Set[int] = set()
+        self._fold(root, (), document_terms, -1)
+        frequency = self._term_document_frequency
+        for term_id in document_terms:
+            remaining = frequency.get(term_id, 0) - 1
+            if remaining > 0:
+                frequency[term_id] = remaining
+            else:
+                frequency.pop(term_id, None)
+
+    def _summary(self, path: Tuple[str, ...]) -> PathSummary:
         summary = self._paths.get(path)
         if summary is None:
             summary = PathSummary(path=path)
             self._paths[path] = summary
-            self._path_values[path] = set()
-        summary.count += 1
-        self._total_elements += 1
+            self._path_values[path] = {}
+            self._path_sibling_runs[path] = {}
+        return summary
+
+    def _fold(
+        self,
+        node: XMLNode,
+        parent_path: Tuple[str, ...],
+        document_terms: Set[int],
+        sign: int,
+    ) -> None:
+        """Add (``sign=+1``) or subtract (``sign=-1``) one subtree."""
+        if not node.is_element:
+            return
+        path = parent_path + (node.tag,)
+        summary = self._summary(path)
+        summary.count += sign
+        self._total_elements += sign
         if node.is_leaf_element:
-            summary.leaf_count += 1
+            summary.leaf_count += sign
             value = node.direct_text()
-            values = self._path_values[path]
-            if value and len(values) < self._MAX_TRACKED_VALUES:
-                values.add(value)
-            summary.distinct_values = len(values)
-        # Keep term extraction aligned with InvertedIndex._node_terms: tag
+            if value:
+                values = self._path_values[path]
+                occurrences = values.get(value)
+                if sign > 0:
+                    if occurrences is not None:
+                        values[value] = occurrences + 1
+                    elif len(values) < self._MAX_TRACKED_VALUES:
+                        values[value] = 1
+                elif occurrences is not None:
+                    if occurrences > 1:
+                        values[value] = occurrences - 1
+                    else:
+                        del values[value]
+            summary.distinct_values = len(self._path_values[path])
+        # Keep term extraction aligned with InvertedIndex._node_term_ids: tag
         # names, direct text and attribute values all produce postings, so all
         # three must count towards document frequencies or TF-IDF would treat
         # attribute-only terms as absent from the corpus.
-        document_terms.update(tokenize(node.tag or ""))
-        document_terms.update(tokenize(node.direct_text()))
-        for value in node.attributes.values():
-            document_terms.update(tokenize(value))
+        texts = [node.tag or ""]
+        direct = node.direct_text()
+        if direct:
+            texts.append(direct)
+        if node.attributes:
+            texts.extend(node.attributes.values())
+        document_terms.update(self._dictionary.intern_many(tokenize_many(texts)))
 
         # Sibling repetition: group the element children by tag.
         tag_counts: Dict[str, int] = {}
@@ -127,15 +212,27 @@ class CorpusStatistics:
             tag_counts[child.tag] = tag_counts.get(child.tag, 0) + 1
         for child_tag, sibling_count in tag_counts.items():
             child_path = path + (child_tag,)
-            child_summary = self._paths.get(child_path)
-            if child_summary is None:
-                child_summary = PathSummary(path=child_path)
-                self._paths[child_path] = child_summary
-                self._path_values[child_path] = set()
-            child_summary.max_siblings = max(child_summary.max_siblings, sibling_count)
+            child_summary = self._summary(child_path)
+            runs = self._path_sibling_runs[child_path]
+            if sign > 0:
+                runs[sibling_count] = runs.get(sibling_count, 0) + 1
+            else:
+                observations = runs.get(sibling_count, 0)
+                if observations > 1:
+                    runs[sibling_count] = observations - 1
+                else:
+                    runs.pop(sibling_count, None)
+            child_summary.max_siblings = max(runs) if runs else 1
 
         for child in node.element_children():
-            self._visit(child, path, document_terms)
+            self._fold(child, path, document_terms, sign)
+
+        if sign < 0 and summary.count <= 0:
+            # Last node with this path is gone: drop the summary entirely so
+            # iteration and tag queries match a fresh build.
+            del self._paths[path]
+            del self._path_values[path]
+            del self._path_sibling_runs[path]
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -161,7 +258,14 @@ class CorpusStatistics:
         tokens = tokenize(term)
         if not tokens:
             return 0
-        return self._term_document_frequency.get(tokens[0], 0)
+        term_id = self._dictionary.lookup(tokens[0])
+        if term_id is None:
+            return 0
+        return self._term_document_frequency.get(term_id, 0)
+
+    def document_frequency_id(self, term_id: int) -> int:
+        """Document frequency for an already-resolved term id."""
+        return self._term_document_frequency.get(term_id, 0)
 
     @property
     def document_count(self) -> int:

@@ -10,9 +10,9 @@ data: lowercase, split on non-alphanumerics, keep digits (model numbers such as
 from __future__ import annotations
 
 import re
-from typing import FrozenSet, List
+from typing import FrozenSet, Iterable, List
 
-__all__ = ["tokenize", "STOPWORDS"]
+__all__ = ["tokenize", "tokenize_many", "STOPWORDS"]
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
 
@@ -66,3 +66,30 @@ def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
             continue
         result.append(token)
     return result
+
+
+def tokenize_many(texts: Iterable[str], drop_stopwords: bool = True) -> List[str]:
+    """Tokenise several related texts in one pass.
+
+    Equivalent to concatenating ``tokenize(text)`` for each text in order, but
+    the inputs are joined (with a newline, which can never fuse two tokens —
+    the token pattern only matches alphanumeric runs) and lowercased/scanned
+    by a *single* regex pass.  Document ingestion tokenises a node's tag,
+    direct text and every attribute value this way, which is measurably
+    cheaper than one ``tokenize`` call per fragment; per-text token
+    boundaries are not reported, so callers that need them must call
+    :func:`tokenize` per text.
+
+    Parameters
+    ----------
+    texts:
+        Any iterable of strings; empty strings are skipped.
+    drop_stopwords:
+        As for :func:`tokenize`.
+    """
+    parts = [text for text in texts if text]
+    if not parts:
+        return []
+    if len(parts) == 1:
+        return tokenize(parts[0], drop_stopwords)
+    return tokenize("\n".join(parts), drop_stopwords)

@@ -7,7 +7,8 @@ from repro.storage.corpus import Corpus
 from repro.storage.document_store import DocumentStore
 from repro.storage.inverted_index import InvertedIndex, Posting
 from repro.storage.statistics import CorpusStatistics
-from repro.storage.tokenizer import STOPWORDS, tokenize
+from repro.storage.term_dictionary import TermDictionary
+from repro.storage.tokenizer import STOPWORDS, tokenize, tokenize_many
 from repro.xmlmodel.builder import element
 from repro.xmlmodel.dewey import DeweyLabel
 from repro.xmlmodel.node import XMLNode
@@ -40,6 +41,64 @@ class TestTokenizer:
         assert "the" in STOPWORDS
         with pytest.raises(AttributeError):
             STOPWORDS.add("new")  # frozenset has no add
+
+
+class TestTokenizeMany:
+    def test_matches_per_text_tokenize_concatenation(self):
+        texts = ["TomTom, GPS!", "", "the best of GPS", "easy_to_read 630"]
+        expected = [token for text in texts for token in tokenize(text)]
+        assert tokenize_many(texts) == expected
+
+    def test_empty_inputs(self):
+        assert tokenize_many([]) == []
+        assert tokenize_many(["", ""]) == []
+
+    def test_single_text_fast_path(self):
+        assert tokenize_many(["TomTom GPS"]) == ["tomtom", "gps"]
+
+    def test_boundary_never_fuses_tokens(self):
+        # "gp" + "s" joined must not become "gps".
+        assert tokenize_many(["gp", "gps"]) == ["gp", "gps"]
+
+    def test_stopword_flag_forwarded(self):
+        assert "the" in tokenize_many(["the gps", "the map"], drop_stopwords=False)
+        assert "the" not in tokenize_many(["the gps", "the map"])
+
+    def test_accepts_generators(self):
+        assert tokenize_many(text for text in ["alpha", "beta"]) == ["alpha", "beta"]
+
+
+class TestTermDictionary:
+    def test_intern_assigns_dense_stable_ids(self):
+        dictionary = TermDictionary()
+        assert dictionary.intern("gps") == 0
+        assert dictionary.intern("tomtom") == 1
+        assert dictionary.intern("gps") == 0  # idempotent
+        assert len(dictionary) == 2
+
+    def test_term_round_trip(self):
+        dictionary = TermDictionary()
+        term_id = dictionary.intern("garmin")
+        assert dictionary.term(term_id) == "garmin"
+
+    def test_lookup_never_inserts(self):
+        dictionary = TermDictionary()
+        assert dictionary.lookup("unknown") is None
+        assert len(dictionary) == 0
+        dictionary.intern("gps")
+        assert dictionary.lookup("gps") == 0
+
+    def test_intern_many_preserves_order_and_duplicates(self):
+        dictionary = TermDictionary()
+        assert dictionary.intern_many(["b", "a", "b"]) == [0, 1, 0]
+        assert list(dictionary) == ["b", "a"]
+
+    def test_contains_and_repr(self):
+        dictionary = TermDictionary()
+        dictionary.intern("gps")
+        assert "gps" in dictionary
+        assert "tomtom" not in dictionary
+        assert "terms=1" in repr(dictionary)
 
 
 def sample_store() -> DocumentStore:
@@ -216,6 +275,99 @@ class TestInvertedIndex:
         index.finalize()
         assert [p.doc_id for p in index.postings("tomtom")] == ["d"]
 
+    def test_out_of_order_doc_ids_merge_with_unsorted_runs(self):
+        # Exercises the run-rearranging branch of finalize (documents added
+        # out of id order) including per-document offset correctness.
+        index = InvertedIndex()
+        index.add_document("z", parse_xml("<r><x>gps</x><x>gps</x></r>"))
+        index.add_document("a", parse_xml("<r><x>gps</x></r>"))
+        assert [p.doc_id for p in index.postings("gps")] == ["a", "z", "z"]
+        assert len(index.postings_for_document("gps", "z")) == 2
+        assert len(index.postings_for_document("gps", "a")) == 1
+
+    def test_postings_are_keyed_by_interned_term_ids(self):
+        index = InvertedIndex.build(sample_store())
+        term_id = index.dictionary.lookup("gps")
+        assert isinstance(term_id, int)
+        assert index.postings_by_id(term_id) == index.postings("gps")
+        # Querying unknown keywords must not grow the dictionary.
+        size_before = len(index.dictionary)
+        index.postings("nonexistentterm")
+        assert index.keyword_node_lists(["anothermissing"]) == [[]]
+        assert len(index.dictionary) == size_before
+
+    def test_shared_dictionary_is_used(self):
+        dictionary = TermDictionary()
+        dictionary.intern("preexisting")
+        index = InvertedIndex.build(sample_store(), dictionary=dictionary)
+        assert index.dictionary is dictionary
+        assert dictionary.lookup("gps") is not None
+
+
+class TestInvertedIndexRemoval:
+    def test_remove_document_matches_fresh_build(self):
+        full = InvertedIndex.build(sample_store())
+        full.remove_document("d1")
+        rest = DocumentStore()
+        rest.add("d2", parse_xml("<product><name>Garmin GPS</name><price>200</price></product>"))
+        fresh = InvertedIndex.build(rest)
+        assert full.vocabulary() == fresh.vocabulary()
+        for term in fresh.vocabulary():
+            assert full.postings(term) == fresh.postings(term)
+            assert full.document_frequency(term) == fresh.document_frequency(term)
+            assert full.collection_frequency(term) == fresh.collection_frequency(term)
+        assert full.documents_indexed == 1
+
+    def test_remove_unknown_document_raises_without_side_effects(self):
+        index = InvertedIndex.build(sample_store())
+        with pytest.raises(IndexError_):
+            index.remove_document("ghost")
+        assert index.documents_indexed == 2
+        assert index.document_frequency("gps") == 2
+
+    def test_remove_then_re_add_same_id(self):
+        index = InvertedIndex.build(sample_store())
+        index.remove_document("d1")
+        index.add_document("d1", parse_xml("<product><name>Replacement GPS</name></product>"))
+        assert index.document_frequency("gps") == 2
+        assert index.document_frequency("replacement") == 1
+        assert index.document_frequency("tomtom") == 0
+
+    def test_remove_before_finalize(self):
+        # Removal of a document whose postings were never finalized must
+        # filter the dirty buckets correctly.
+        index = InvertedIndex()
+        index.add_document("a", parse_xml("<r><x>gps</x></r>"))
+        index.add_document("b", parse_xml("<r><x>gps</x></r>"))
+        index.remove_document("a")
+        assert [p.doc_id for p in index.postings("gps")] == ["b"]
+
+    def test_remove_last_document_empties_bucket(self):
+        index = InvertedIndex.build(sample_store())
+        index.remove_document("d1")
+        index.remove_document("d2")
+        assert index.postings("gps") == []
+        assert "gps" not in index
+        assert len(index) == 0
+        assert index.documents_indexed == 0
+
+    def test_removal_keeps_held_snapshots_stable(self):
+        # Posting lists handed out before a removal must not change under
+        # their holder (buckets are replaced, never mutated in place).
+        index = InvertedIndex.build(sample_store())
+        held = index.keyword_node_lists(["gps"], copy=False)[0]
+        snapshot = list(held)
+        index.remove_document("d1")
+        assert len(index.postings("gps")) == 1
+        assert held == snapshot
+
+    def test_removed_term_id_stays_reserved_in_dictionary(self):
+        index = InvertedIndex.build(sample_store())
+        term_id = index.dictionary.lookup("tomtom")
+        index.remove_document("d1")  # the only document containing "tomtom"
+        assert index.dictionary.lookup("tomtom") == term_id
+        assert index.postings_by_id(term_id) == []
+
 
 class TestCorpusStatistics:
     def test_path_counts(self):
@@ -263,6 +415,59 @@ class TestCorpusStatistics:
         stats = CorpusStatistics()
         assert stats.document_count == 0
         assert stats.average_document_elements == 0.0
+
+    def test_document_frequency_id(self):
+        stats = CorpusStatistics.build(sample_store())
+        term_id = stats.dictionary.lookup("gps")
+        assert stats.document_frequency_id(term_id) == 2
+        assert stats.document_frequency_id(10**6) == 0
+
+
+class TestCorpusStatisticsRemoval:
+    def _snapshot(self, stats):
+        return {
+            summary.path: (
+                summary.count,
+                summary.max_siblings,
+                summary.leaf_count,
+                summary.distinct_values,
+            )
+            for summary in stats.iter_paths()
+        }
+
+    def test_remove_document_matches_fresh_build(self):
+        store = sample_store()
+        stats = CorpusStatistics.build(store)
+        stats.remove_document(store.get("d1").root)
+        rest = DocumentStore()
+        rest.add("d2", parse_xml("<product><name>Garmin GPS</name><price>200</price></product>"))
+        fresh = CorpusStatistics.build(rest)
+        assert self._snapshot(stats) == self._snapshot(fresh)
+        assert stats.document_count == fresh.document_count
+        assert stats.total_elements == fresh.total_elements
+        assert stats.document_frequency("gps") == 1
+        assert stats.document_frequency("tomtom") == 0
+
+    def test_max_siblings_recomputed_from_surviving_runs(self):
+        store = DocumentStore()
+        store.add("many", parse_xml("<r><item/><item/><item/></r>"))
+        store.add("few", parse_xml("<r><item/><item/></r>"))
+        stats = CorpusStatistics.build(store)
+        assert stats.path_summary(("r", "item")).max_siblings == 3
+        stats.remove_document(store.get("many").root)
+        assert stats.path_summary(("r", "item")).max_siblings == 2
+        stats.remove_document(store.get("few").root)
+        assert stats.path_summary(("r", "item")) is None
+
+    def test_distinct_values_survive_shared_occurrences(self):
+        store = DocumentStore()
+        store.add("a", parse_xml("<p><name>shared</name></p>"))
+        store.add("b", parse_xml("<p><name>shared</name></p>"))
+        stats = CorpusStatistics.build(store)
+        assert stats.path_summary(("p", "name")).distinct_values == 1
+        stats.remove_document(store.get("a").root)
+        # The value still occurs in "b", so it must not disappear.
+        assert stats.path_summary(("p", "name")).distinct_values == 1
 
 
 class TestCorpus:
@@ -313,3 +518,38 @@ class TestCorpus:
         assert corpus.index.document_frequency("gps") == 3
         assert corpus.statistics.document_count == 3
         assert [p.doc_id for p in corpus.index.postings("gps")] == ["d1", "d2", "d3"]
+
+    def test_index_and_statistics_share_the_corpus_dictionary(self):
+        corpus = Corpus(sample_store())
+        assert corpus.index.dictionary is corpus.dictionary
+        assert corpus.statistics.dictionary is corpus.dictionary
+        assert corpus.dictionary.lookup("gps") is not None
+
+    def test_incremental_remove_document_updates_everything(self):
+        corpus = Corpus(sample_store())
+        version_before = corpus.version
+        corpus.remove_document("d1")
+        assert corpus.version == version_before + 1
+        assert "d1" not in corpus.store
+        assert corpus.index.document_frequency("tomtom") == 0
+        assert corpus.index.document_frequency("gps") == 1
+        assert corpus.statistics.document_count == 1
+        assert corpus.statistics.document_frequency("tomtom") == 0
+        assert [p.doc_id for p in corpus.index.postings("gps")] == ["d2"]
+
+    def test_remove_unknown_document_raises_without_mutation(self):
+        corpus = Corpus(sample_store())
+        with pytest.raises(DocumentNotFoundError):
+            corpus.remove_document("ghost")
+        assert corpus.version == 0
+        assert len(corpus.store) == 2
+        assert corpus.index.documents_indexed == 2
+
+    def test_remove_then_add_round_trips(self):
+        corpus = Corpus(sample_store())
+        root = corpus.store.get("d1").root
+        corpus.remove_document("d1")
+        corpus.add_document("d1", root)
+        assert corpus.version == 2
+        assert corpus.index.document_frequency("gps") == 2
+        assert [p.doc_id for p in corpus.index.postings("gps")] == ["d1", "d2"]
