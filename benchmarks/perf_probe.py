@@ -6,10 +6,13 @@ same IMDB corpora as ``test_search_hot_path.py`` so before/after rows are
 comparable across PRs.
 """
 
+import tempfile
 import time
+from pathlib import Path
 
 from repro.datasets.imdb import ImdbConfig, generate_imdb_corpus
 from repro.search.engine import SearchEngine
+from repro.storage.corpus import Corpus
 from repro.storage.inverted_index import InvertedIndex
 
 
@@ -58,6 +61,22 @@ def main() -> None:
 
     print(f"remove+query 1000, incremental: {min(remove_then_query(True) for _ in range(3)):.1f} ms")
     print(f"remove+query 1000, full rebuild: {min(remove_then_query(False) for _ in range(3)):.1f} ms")
+
+    # Cold start: binary snapshot load vs rebuilding the corpus from scratch.
+    # "from XML dir" is the real disk cold start (parse + tokenise + index);
+    # "rebuild in memory" re-derives index + statistics from already-parsed
+    # trees, isolating the tokenisation cost the snapshot skips.
+    with tempfile.TemporaryDirectory() as scratch:
+        for label, corpus in (("200", corpus_200), ("1000", corpus_1000)):
+            snapshot_path = Path(scratch) / f"imdb_{label}.snap"
+            xml_dir = Path(scratch) / f"imdb_{label}_xml"
+            corpus.save(snapshot_path)
+            corpus.store.save_to_directory(xml_dir)
+            size_mb = snapshot_path.stat().st_size / 1e6
+            print(f"snapshot save {label}: {best_of(lambda: corpus.save(snapshot_path), 3):.1f} ms ({size_mb:.2f} MB)")
+            print(f"cold start {label}, snapshot load:     {best_of(lambda: Corpus.load(snapshot_path), 3):.1f} ms")
+            print(f"cold start {label}, rebuild in memory: {best_of(lambda: Corpus(corpus.store), 3):.1f} ms")
+            print(f"cold start {label}, from XML dir:      {best_of(lambda: Corpus.from_directory(xml_dir), 3):.1f} ms")
 
 
 if __name__ == "__main__":

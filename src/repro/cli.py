@@ -9,6 +9,13 @@ Python:
 * ``repro-xsact compare`` — run a query and build the comparison table for the
   top-N results (the demo's "comparison" button), optionally writing HTML.
 * ``repro-xsact figure4`` — regenerate the Figure 4 experiment table.
+* ``repro-xsact save-snapshot`` — persist a corpus as one binary snapshot
+  file, so later invocations cold-start with ``--snapshot`` in a fraction of
+  the parse-and-index time.
+
+Every command that reads a corpus accepts three sources: a generated
+``--dataset`` (default), a ``--corpus-dir`` of ``.xml`` files, or a
+``--snapshot`` file written by ``save-snapshot``.
 
 Examples
 --------
@@ -17,6 +24,8 @@ Examples
     python -m repro.cli search --dataset products --query "tomtom gps"
     python -m repro.cli compare --dataset products --query "tomtom gps" --top 2 --size-limit 6
     python -m repro.cli figure4
+    python -m repro.cli save-snapshot --dataset imdb --output imdb.snap
+    python -m repro.cli search --snapshot imdb.snap --query "drama war"
 """
 
 from __future__ import annotations
@@ -44,6 +53,17 @@ _DATASETS: Dict[str, Callable[[], Corpus]] = {
 }
 
 
+def _non_negative_int(text: str) -> int:
+    """Argparse type for counts: rejects negatives with a clear message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -55,12 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
     search = subparsers.add_parser("search", help="run a keyword query and list results")
     _add_corpus_arguments(search)
     search.add_argument("--query", required=True, help="keyword query, e.g. 'tomtom gps'")
-    search.add_argument("--limit", type=int, default=None, help="maximum number of results to list")
+    search.add_argument(
+        "--limit",
+        type=_non_negative_int,
+        default=None,
+        help="maximum number of results to list",
+    )
 
     compare = subparsers.add_parser("compare", help="compare the top results of a query")
     _add_corpus_arguments(compare)
     compare.add_argument("--query", required=True, help="keyword query, e.g. 'tomtom gps'")
-    compare.add_argument("--top", type=int, default=2, help="number of top results to compare")
+    compare.add_argument(
+        "--top", type=_non_negative_int, default=2, help="number of top results to compare"
+    )
     compare.add_argument("--size-limit", type=int, default=5, help="DFS size bound L")
     compare.add_argument(
         "--algorithm",
@@ -78,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure4 = subparsers.add_parser("figure4", help="regenerate the Figure 4 experiment")
     figure4.add_argument("--size-limit", type=int, default=5, help="DFS size bound L")
+
+    save_snapshot = subparsers.add_parser(
+        "save-snapshot",
+        help="persist a corpus as one binary snapshot file for fast cold start",
+    )
+    _add_corpus_arguments(save_snapshot)
+    save_snapshot.add_argument(
+        "--output", required=True, help="path of the snapshot file to write"
+    )
     return parser
 
 
@@ -88,14 +124,22 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
         choices=sorted(_DATASETS),
         help="synthetic corpus to search (default: products)",
     )
-    parser.add_argument(
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
         "--corpus-dir",
         default=None,
         help="load a corpus from a directory of .xml files instead of generating one",
     )
+    source.add_argument(
+        "--snapshot",
+        default=None,
+        help="load a corpus from a binary snapshot file (see the save-snapshot command)",
+    )
 
 
 def _load_corpus(arguments: argparse.Namespace) -> Corpus:
+    if arguments.snapshot:
+        return Corpus.load(arguments.snapshot)
     if arguments.corpus_dir:
         return Corpus.from_directory(arguments.corpus_dir)
     return _DATASETS[arguments.dataset]()
@@ -140,6 +184,18 @@ def _command_figure4(arguments: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_save_snapshot(arguments: argparse.Namespace, out) -> int:
+    corpus = _load_corpus(arguments)
+    written = corpus.save(arguments.output)
+    size = written.stat().st_size
+    print(
+        f"snapshot of corpus {corpus.name!r} ({len(corpus.store)} documents, "
+        f"{size} bytes) written to {written}",
+        file=out,
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -149,6 +205,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "search": _command_search,
         "compare": _command_compare,
         "figure4": _command_figure4,
+        "save-snapshot": _command_save_snapshot,
     }
     try:
         return handlers[arguments.command](arguments, out)

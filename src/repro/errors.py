@@ -15,6 +15,9 @@ __all__ = [
     "StorageError",
     "DocumentNotFoundError",
     "IndexError_",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
     "QueryError",
     "SearchError",
     "EntityInferenceError",
@@ -66,6 +69,31 @@ class IndexError_(StorageError):
     """Raised when an inverted-index operation fails.
 
     The trailing underscore avoids shadowing the built-in :class:`IndexError`.
+    """
+
+
+class SnapshotError(StorageError):
+    """Base class for binary corpus-snapshot errors."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """Raised when a snapshot file cannot be decoded.
+
+    Covers every way a file can fail structural validation: missing or
+    malformed header, unsupported format version, truncation, checksum
+    mismatch, and trailing or overrun payload bytes.  A load that raises this
+    error has not constructed any corpus state.
+    """
+
+
+class SnapshotVersionError(SnapshotError):
+    """Raised when a snapshot's corpus version does not match the caller's.
+
+    Loading with ``expected_version`` set asserts that the snapshot captures a
+    specific :attr:`~repro.storage.corpus.Corpus.version`; a mismatch means
+    the corpus was mutated after the snapshot was taken (or the snapshot
+    belongs to a different corpus lineage), so the stale file is rejected
+    instead of silently resurrecting old data.
     """
 
 

@@ -104,7 +104,16 @@ class SearchEngine:
             Optional cap on the number of results returned (after ranking).
             The cache stores the full ranked list, so the same query with
             different limits is still a single cache entry.
+
+        Raises
+        ------
+        SearchError
+            If ``limit`` is negative — a negative value would silently slice
+            from the wrong end of the ranked list (``ranked[:-1]`` drops the
+            *last* result), which is never what the caller meant.
         """
+        if limit is not None and limit < 0:
+            raise SearchError(f"limit must be non-negative, got {limit}")
         if isinstance(query, str):
             query = KeywordQuery.parse(query)
 
@@ -186,9 +195,17 @@ class SearchEngine:
         return rank_results(results, query, self.corpus.statistics)
 
     def _compute_matches(self, query: KeywordQuery) -> List[Posting]:
+        # Resolve postings through the *normalised* keyword view — the same
+        # identity the cache key and ranking use.  A directly-constructed,
+        # un-normalised query (duplicate or multi-token keyword strings) must
+        # evaluate exactly like its normalised spelling, because both share
+        # one cache entry; resolving the raw keywords here would let the two
+        # views drift apart and poison the shared entry.
         # copy=False: the match algorithms never mutate the lists, so the hot
         # path skips one posting-list copy per keyword.
-        posting_lists = self.corpus.index.keyword_node_lists(query.keywords, copy=False)
+        posting_lists = self.corpus.index.keyword_node_lists(
+            query.normalized_keywords, copy=False
+        )
         if not posting_lists:
             return []
         if self.semantics == "slca":

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.errors import SearchError
 from repro.search.query import KeywordQuery
 from repro.xmlmodel.dewey import DeweyLabel
 from repro.xmlmodel.node import XMLNode
@@ -83,7 +84,16 @@ class SearchResultSet:
         return self.results[index]
 
     def top(self, count: int) -> List[SearchResult]:
-        """Return the first ``count`` results."""
+        """Return the first ``count`` results.
+
+        Raises
+        ------
+        SearchError
+            If ``count`` is negative — ``results[:-n]`` would silently drop
+            results from the *end* instead of selecting from the top.
+        """
+        if count < 0:
+            raise SearchError(f"top() count must be non-negative, got {count}")
         return self.results[:count]
 
     def by_id(self, result_id: str) -> SearchResult:

@@ -50,9 +50,9 @@ def infer_return_subtree(
 
     Walks from ``match_node`` towards the root looking for the lowest
     ancestor-or-self entity node, climbing at most ``max_climb`` levels.  When
-    no entity node is found the match node's highest non-root ancestor within
-    the climb window is returned, so the caller always gets a displayable
-    subtree.
+    no entity node is found the match node's highest non-root ancestor-or-self
+    within the climb window is returned (the match node itself when it is the
+    document root), so the caller always gets a displayable subtree.
 
     Parameters
     ----------
@@ -66,15 +66,17 @@ def infer_return_subtree(
     """
     current: Optional[XMLNode] = match_node
     climbed = 0
-    last_seen = match_node
+    highest_non_root = match_node
     while current is not None and climbed <= max_climb:
         if is_entity_node(current, statistics):
             return current
-        last_seen = current
+        if current.parent is not None or current is match_node:
+            highest_non_root = current
         current = current.parent
         climbed += 1
-    # No entity found within the window: fall back to the highest node visited
-    # that is not the document root (unless the match itself was the root).
-    if last_seen.parent is None and last_seen is not match_node:
-        return match_node
-    return last_seen
+    # No entity found within the window: fall back to the highest non-root
+    # node visited, so the result keeps as much context around the match as
+    # the climb window allows without ever returning the whole document.
+    # (When the match itself is the document root there is nothing below it
+    # to prefer, so the match is returned as-is.)
+    return highest_non_root

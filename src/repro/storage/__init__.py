@@ -15,10 +15,15 @@ paper).  That engine needs three storage-level services, all provided here:
 * :class:`~repro.storage.term_dictionary.TermDictionary` — interns tokens to
   dense integer term ids; the index and statistics of one corpus share a
   dictionary so every per-term table is keyed by ints, not strings.
+* :mod:`repro.storage.snapshot` — one-file binary persistence of a whole
+  :class:`~repro.storage.corpus.Corpus` (store + dictionary + index +
+  statistics), so cold start is a sequential read instead of re-parsing and
+  re-tokenising the corpus; see :meth:`Corpus.save` / :meth:`Corpus.load`.
 """
 
 from repro.storage.document_store import DocumentStore, StoredDocument
 from repro.storage.inverted_index import InvertedIndex, Posting
+from repro.storage.snapshot import SnapshotHeader, read_snapshot_header
 from repro.storage.statistics import CorpusStatistics, PathSummary
 from repro.storage.term_dictionary import TermDictionary
 from repro.storage.tokenizer import STOPWORDS, tokenize, tokenize_many
@@ -34,6 +39,8 @@ __all__ = [
     "PathSummary",
     "TermDictionary",
     "Corpus",
+    "SnapshotHeader",
+    "read_snapshot_header",
     "tokenize",
     "tokenize_many",
     "STOPWORDS",

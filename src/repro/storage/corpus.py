@@ -23,6 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.errors import StorageError
 from repro.storage.document_store import DocumentStore
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.statistics import CorpusStatistics
@@ -45,9 +46,85 @@ class Corpus:
 
     @classmethod
     def from_directory(cls, directory: Union[str, Path], name: Optional[str] = None) -> "Corpus":
-        """Load a corpus from a directory of ``.xml`` files."""
+        """Load a corpus from a directory of ``.xml`` files.
+
+        Raises
+        ------
+        StorageError
+            If the path is not a directory, or if the directory contains no
+            ``.xml`` files — an empty corpus is never what the caller meant
+            (a mistyped path would otherwise search zero documents silently).
+        """
         store = DocumentStore.load_from_directory(directory)
+        if not len(store):
+            raise StorageError(f"no .xml documents found in directory: {Path(directory)}")
         return cls(store, name=name or Path(directory).name)
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        store: DocumentStore,
+        dictionary: TermDictionary,
+        index: InvertedIndex,
+        statistics: CorpusStatistics,
+        name: str,
+        version: int,
+    ) -> "Corpus":
+        """Assemble a corpus from already-built parts (snapshot loading).
+
+        Bypasses ``__init__`` — the whole point of a snapshot is that index
+        and statistics arrive ready-made instead of being rebuilt from the
+        store.  The parts must share ``dictionary``, as a normal construction
+        would guarantee.
+        """
+        corpus = cls.__new__(cls)
+        corpus.name = name
+        corpus.store = store
+        corpus.dictionary = dictionary
+        corpus.index = index
+        corpus.statistics = statistics
+        corpus.version = version
+        return corpus
+
+    # ------------------------------------------------------------------ #
+    # Snapshot persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write this corpus as one compact binary snapshot file.
+
+        See :mod:`repro.storage.snapshot` for the format.  The snapshot
+        records :attr:`version`, so a later :meth:`load` can reject the file
+        when the corpus was mutated after the save.
+        """
+        from repro.storage.snapshot import save_corpus
+
+        return save_corpus(self, path)
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], *, expected_version: Optional[int] = None
+    ) -> "Corpus":
+        """Reconstruct a corpus from a snapshot without re-tokenising anything.
+
+        The loaded corpus is equivalent to a fresh build over the same
+        documents (same postings, document frequencies, path summaries and
+        ranked query results) but is materialised by a sequential read — cold
+        start skips parsing, tokenisation, interning and posting sorts.
+
+        Raises
+        ------
+        SnapshotFormatError
+            If the file is missing sections, truncated, corrupt, from an
+            unsupported format version, or built under a different tokenizer
+            configuration.
+        SnapshotVersionError
+            If ``expected_version`` is given and the snapshot records a
+            different corpus version (i.e. it is stale).
+        """
+        from repro.storage.snapshot import load_corpus
+
+        return load_corpus(path, expected_version=expected_version)
 
     def add_document(self, doc_id: str, root: XMLNode) -> None:
         """Add one document and update index and statistics incrementally.

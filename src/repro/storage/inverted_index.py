@@ -162,6 +162,31 @@ class InvertedIndex:
         self._doc_terms[doc_id] = tuple(sorted(seen_terms))
         self._documents_indexed += 1
 
+    @classmethod
+    def _restore(
+        cls,
+        dictionary: TermDictionary,
+        *,
+        postings: Dict[int, List[Posting]],
+        doc_ranges: Dict[int, Dict[str, Tuple[int, int]]],
+        document_frequency: Dict[int, int],
+        doc_terms: Dict[str, Tuple[int, ...]],
+    ) -> "InvertedIndex":
+        """Rebuild an index directly from finalized tables (snapshot loading).
+
+        The caller provides posting buckets already in document order together
+        with their per-document offset maps — the invariant :meth:`finalize`
+        establishes — so the restored index starts with no dirty terms and
+        never re-sorts anything.
+        """
+        index = cls(dictionary)
+        index._postings = postings
+        index._doc_ranges = doc_ranges
+        index._document_frequency = document_frequency
+        index._doc_terms = doc_terms
+        index._documents_indexed = len(doc_terms)
+        return index
+
     def remove_document(self, doc_id: str) -> None:
         """Un-index one document, incrementally.
 

@@ -126,6 +126,33 @@ class CorpusStatistics:
             stats.add_document(document.root)
         return stats
 
+    @classmethod
+    def _restore(
+        cls,
+        dictionary: TermDictionary,
+        *,
+        paths: Dict[Tuple[str, ...], PathSummary],
+        path_values: Dict[Tuple[str, ...], Dict[str, int]],
+        path_sibling_runs: Dict[Tuple[str, ...], Dict[int, int]],
+        term_document_frequency: Dict[int, int],
+        document_count: int,
+        total_elements: int,
+    ) -> "CorpusStatistics":
+        """Rebuild statistics directly from their tables (snapshot loading).
+
+        The value-occurrence and sibling-run bookkeeping is restored in full,
+        so incremental :meth:`add_document` / :meth:`remove_document` keep
+        working exactly as they would on a freshly built instance.
+        """
+        stats = cls(dictionary)
+        stats._paths = paths
+        stats._path_values = path_values
+        stats._path_sibling_runs = path_sibling_runs
+        stats._term_document_frequency = term_document_frequency
+        stats._document_count = document_count
+        stats._total_elements = total_elements
+        return stats
+
     def add_document(self, root: XMLNode) -> None:
         """Fold one document tree into the statistics."""
         self._document_count += 1

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro.errors import SnapshotFormatError
+
 __all__ = ["TermDictionary"]
 
 
@@ -72,6 +74,22 @@ class TermDictionary:
                 term_list.append(term)
             append(term_id)
         return out
+
+    @classmethod
+    def _restore(cls, terms: "Iterable[str]") -> "TermDictionary":
+        """Rebuild a dictionary from its term list in id order.
+
+        Snapshot-loading entry point: the i-th term receives id ``i``, exactly
+        reversing :meth:`__iter__`.  Raises
+        :class:`~repro.errors.SnapshotFormatError` on duplicate terms, which
+        could never have been produced by interning.
+        """
+        dictionary = cls()
+        dictionary._terms = list(terms)
+        dictionary._ids = {term: term_id for term_id, term in enumerate(dictionary._terms)}
+        if len(dictionary._ids) != len(dictionary._terms):
+            raise SnapshotFormatError("malformed snapshot: term dictionary has duplicate terms")
+        return dictionary
 
     # ------------------------------------------------------------------ #
     # Resolution (read side)

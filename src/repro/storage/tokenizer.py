@@ -10,9 +10,10 @@ data: lowercase, split on non-alphanumerics, keep digits (model numbers such as
 from __future__ import annotations
 
 import re
+import zlib
 from typing import FrozenSet, Iterable, List
 
-__all__ = ["tokenize", "tokenize_many", "STOPWORDS"]
+__all__ = ["tokenize", "tokenize_many", "fingerprint", "STOPWORDS"]
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
 
@@ -39,6 +40,19 @@ STOPWORDS: FrozenSet[str] = frozenset(
         "with",
     }
 )
+
+
+def fingerprint() -> int:
+    """Checksum of the tokenisation rules (pattern + stopword list).
+
+    Corpus snapshots bake tokenised postings into their payload, so a
+    snapshot is only valid under the tokenizer configuration it was built
+    with; :mod:`repro.storage.snapshot` stores this fingerprint and rejects
+    snapshots whose rules no longer match.  Owned by this module so that any
+    change to the rules updates the fingerprint in the same place.
+    """
+    spec = _TOKEN_PATTERN.pattern + "\x00" + ",".join(sorted(STOPWORDS))
+    return zlib.crc32(spec.encode("utf-8"))
 
 
 def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:

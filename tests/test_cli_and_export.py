@@ -33,6 +33,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["search", "--dataset", "nope", "--query", "x"])
 
+    def test_negative_limit_rejected(self):
+        # Regression: a negative --limit used to reach the engine and slice
+        # results from the wrong end; argparse now rejects it up front.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--query", "gps", "--limit", "-1"])
+
+    def test_negative_top_rejected(self):
+        # Same bug class on the compare side: --top -1 used to silently
+        # compare all-but-the-last result.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--query", "gps", "--top", "-1"])
+
+    def test_zero_and_positive_limits_accepted(self):
+        assert build_parser().parse_args(["search", "--query", "gps", "--limit", "0"]).limit == 0
+        assert build_parser().parse_args(["search", "--query", "gps", "--limit", "3"]).limit == 3
+
+    def test_save_snapshot_subcommand_registered(self):
+        arguments = build_parser().parse_args(["save-snapshot", "--output", "x.snap"])
+        assert arguments.command == "save-snapshot"
+        assert arguments.output == "x.snap"
+        assert arguments.dataset == "products"
+
 
 class TestCliOnSavedCorpus:
     @pytest.fixture(scope="class")

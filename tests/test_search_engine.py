@@ -82,6 +82,36 @@ class TestXseekInference:
         inferred = infer_return_subtree(leaf, None, max_climb=1)
         assert inferred.tag in {"d", "e"}
 
+    def test_fallback_returns_highest_non_root_ancestor(self):
+        # Regression: when the climb reaches the document root without finding
+        # an entity, the fallback must honour its contract ("highest non-root
+        # ancestor within the climb window") instead of degrading to the bare
+        # match node — a chain-shaped document used to get just the leaf back.
+        tree = parse_xml("<a><b><c>x y</c></b></a>")
+        leaf = tree.find_descendants("c")[0]
+        inferred = infer_return_subtree(leaf, None)
+        assert inferred.tag == "b"
+
+    def test_fallback_chain_with_statistics(self):
+        # Same shape, but with statistics built over the document: nothing in
+        # a pure chain repeats or groups, so the fallback path is still taken.
+        tree = parse_xml("<a><b><c>x y</c></b></a>")
+        stats = CorpusStatistics()
+        stats.add_document(tree)
+        inferred = infer_return_subtree(tree.find_descendants("c")[0], stats)
+        assert inferred.tag == "b"
+
+    def test_fallback_when_match_is_the_root(self):
+        tree = parse_xml("<a>x y</a>")
+        assert infer_return_subtree(tree, None) is tree
+
+    def test_fallback_respects_climb_window_on_deep_chain(self):
+        # The "highest non-root" rule only applies within the climb window:
+        # from <f>, one climb reaches <e>, never higher.
+        tree = parse_xml("<a><b><c><d><e><f>x</f></e></d></c></b></a>")
+        leaf = tree.find_descendants("f")[0]
+        assert infer_return_subtree(leaf, None, max_climb=1).tag == "e"
+
 
 class TestRanking:
     def test_tf_idf_prefers_matching_subtree(self):
@@ -132,6 +162,25 @@ class TestSearchEngine:
     def test_limit_truncates(self):
         engine = SearchEngine(product_corpus())
         assert len(engine.search("gps", limit=1)) == 1
+
+    def test_limit_zero_returns_no_results(self):
+        engine = SearchEngine(product_corpus())
+        assert len(engine.search("gps", limit=0)) == 0
+
+    def test_negative_limit_rejected(self):
+        # Regression: a negative limit used to slice from the wrong end
+        # (ranked[:-1] silently drops the *last* result).
+        engine = SearchEngine(product_corpus())
+        with pytest.raises(SearchError, match="non-negative"):
+            engine.search("gps", limit=-1)
+
+    def test_negative_top_rejected(self):
+        # Same bug class on the result-set side: top(-1) returned
+        # all-but-the-last result instead of erroring.
+        result_set = SearchEngine(product_corpus()).search("gps")
+        with pytest.raises(SearchError, match="non-negative"):
+            result_set.top(-1)
+        assert result_set.top(0) == []
 
     def test_result_subtrees_are_detached_copies(self):
         engine = SearchEngine(product_corpus())
@@ -268,6 +317,42 @@ class TestSearchEngineCache:
         engine.search("gps")
         assert engine.cache_hits == 0
         assert engine.cache_misses == 0
+
+    def test_match_computation_resolves_the_normalized_view(self, monkeypatch):
+        # Regression: posting lists were looked up by the *raw* keyword
+        # strings while the cache keys by normalized_keywords.  Both views
+        # must be the same object stream, otherwise a directly-constructed
+        # un-normalised query (duplicates, multi-token strings) evaluates
+        # differently from the normalised spelling it shares a cache entry
+        # with — and poisons that entry for later normalised lookups.
+        corpus = product_corpus()
+        engine = SearchEngine(corpus, cache_size=0)
+        resolved = []
+        original = corpus.index.keyword_node_lists
+
+        def spy(keywords, **kwargs):
+            resolved.append(tuple(keywords))
+            return original(keywords, **kwargs)
+
+        monkeypatch.setattr(corpus.index, "keyword_node_lists", spy)
+        raw_query = KeywordQuery(keywords=("TomTom, GPS", "gps"), raw="TomTom, GPS gps")
+        engine.search(raw_query)
+        assert resolved == [raw_query.normalized_keywords]
+        assert resolved == [("tomtom", "gps")]
+
+    def test_unnormalized_duplicates_share_entry_without_poisoning(self):
+        # The poisoning scenario end to end: the un-normalised spelling
+        # populates the cache first, then the normalised spelling must be
+        # served the exact results it would have computed itself.
+        engine = SearchEngine(product_corpus())
+        raw_query = KeywordQuery(keywords=("GPS", "gps gps"), raw="GPS gps gps")
+        first = engine.search(raw_query)
+        second = engine.search("gps")
+        assert engine.cache_misses == 1
+        assert engine.cache_hits == 1
+        cold = SearchEngine(product_corpus(), cache_size=0).search("gps")
+        assert [(r.doc_id, r.score) for r in second] == [(r.doc_id, r.score) for r in cold]
+        assert [(r.doc_id, r.score) for r in first] == [(r.doc_id, r.score) for r in cold]
 
     def test_unnormalized_query_evaluates_like_its_cache_twin(self):
         # Regression: a directly-constructed, un-tokenised query must produce
