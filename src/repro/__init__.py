@@ -55,7 +55,23 @@ from repro.datasets import (
 )
 from repro.errors import ReproError
 from repro.features import Feature, FeatureExtractor, FeatureStatistics, FeatureType, ResultFeatures
-from repro.search import KeywordQuery, SearchEngine, SearchResult, SearchResultSet
+from repro.search import (
+    KeywordQuery,
+    SearchEngine,
+    SearchResult,
+    SearchResultSet,
+    available_semantics,
+    register_semantics,
+    unregister_semantics,
+)
+from repro.service import (
+    CompareRequest,
+    CompareResponse,
+    ResultItem,
+    SearchRequest,
+    SearchResponse,
+    SearchService,
+)
 from repro.snippets import SnippetGenerator, snippet_dod
 from repro.storage import Corpus, DocumentStore
 from repro.xmlmodel import XMLNode, parse_xml
@@ -95,6 +111,16 @@ __all__ = [
     "SearchEngine",
     "SearchResult",
     "SearchResultSet",
+    "register_semantics",
+    "unregister_semantics",
+    "available_semantics",
+    # Service layer
+    "SearchService",
+    "SearchRequest",
+    "SearchResponse",
+    "ResultItem",
+    "CompareRequest",
+    "CompareResponse",
     # Storage / XML substrate
     "Corpus",
     "DocumentStore",

@@ -8,14 +8,23 @@ Python:
   corpora and list the ranked results (the demo's result page).
 * ``repro-xsact compare`` — run a query and build the comparison table for the
   top-N results (the demo's "comparison" button), optionally writing HTML.
+* ``repro-xsact serve``   — start the HTTP JSON front-end (the demo's web
+  application itself): ``GET /search`` with cursor pagination,
+  ``POST /compare``, ``GET /healthz``, ``GET /stats``.
 * ``repro-xsact figure4`` — regenerate the Figure 4 experiment table.
 * ``repro-xsact save-snapshot`` — persist a corpus as one binary snapshot
   file, so later invocations cold-start with ``--snapshot`` in a fraction of
   the parse-and-index time.
 
-Every command that reads a corpus accepts three sources: a generated
-``--dataset`` (default), a ``--corpus-dir`` of ``.xml`` files, or a
-``--snapshot`` file written by ``save-snapshot``.
+Every command that reads a corpus accepts exactly one of three sources: a
+generated ``--dataset``, a ``--corpus-dir`` of ``.xml`` files, or a
+``--snapshot`` file written by ``save-snapshot``.  The sources are mutually
+exclusive — naming two explicitly is an argument error (``--dataset
+products`` with no explicit source remains the default).
+
+All corpus-reading commands go through the service layer
+(:class:`~repro.service.service.SearchService`), the same entry point the
+HTTP front-end uses.
 
 Examples
 --------
@@ -26,15 +35,15 @@ Examples
     python -m repro.cli figure4
     python -m repro.cli save-snapshot --dataset imdb --output imdb.snap
     python -m repro.cli search --snapshot imdb.snap --query "drama war"
+    python -m repro.cli serve --snapshot imdb.snap --port 8080
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.comparison.pipeline import Xsact
 from repro.core.config import DFSConfig
 from repro.datasets.imdb import generate_imdb_corpus
 from repro.datasets.outdoor_retailer import generate_outdoor_corpus
@@ -42,6 +51,8 @@ from repro.datasets.product_reviews import generate_product_reviews_corpus
 from repro.errors import ReproError
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.report import format_measurements
+from repro.service.http import create_server
+from repro.service.service import DEFAULT_MAX_PAGE_SIZE, SearchService
 from repro.storage.corpus import Corpus
 
 __all__ = ["build_parser", "main"]
@@ -52,6 +63,8 @@ _DATASETS: Dict[str, Callable[[], Corpus]] = {
     "imdb": generate_imdb_corpus,
 }
 
+_DEFAULT_DATASET = "products"
+
 
 def _non_negative_int(text: str) -> int:
     """Argparse type for counts: rejects negatives with a clear message."""
@@ -61,6 +74,14 @@ def _non_negative_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for sizes that must be at least one."""
+    value = _non_negative_int(text)
+    if value == 0:
+        raise argparse.ArgumentTypeError("must be positive, got 0")
     return value
 
 
@@ -76,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(search)
     search.add_argument("--query", required=True, help="keyword query, e.g. 'tomtom gps'")
     search.add_argument(
+        "--semantics",
+        default="slca",
+        help="match semantics: slca (default), elca, or any registered name",
+    )
+    search.add_argument(
         "--limit",
         type=_non_negative_int,
         default=None,
@@ -85,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="compare the top results of a query")
     _add_corpus_arguments(compare)
     compare.add_argument("--query", required=True, help="keyword query, e.g. 'tomtom gps'")
+    compare.add_argument(
+        "--semantics",
+        default="slca",
+        help="match semantics: slca (default), elca, or any registered name",
+    )
     compare.add_argument(
         "--top", type=_non_negative_int, default=2, help="number of top results to compare"
     )
@@ -103,6 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--output", default=None, help="write the table to this file instead of stdout")
 
+    serve = subparsers.add_parser(
+        "serve", help="start the HTTP JSON front-end over a corpus"
+    )
+    _add_corpus_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="address to bind (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=8080,
+        help="port to bind; 0 picks a free port (default: 8080)",
+    )
+    serve.add_argument(
+        "--page-size",
+        type=_positive_int,
+        default=10,
+        help="default /search page size (default: 10)",
+    )
+
     figure4 = subparsers.add_parser("figure4", help="regenerate the Figure 4 experiment")
     figure4.add_argument("--size-limit", type=int, default=5, help="DFS size bound L")
 
@@ -118,13 +167,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+    # All three corpus sources live in one mutually exclusive group, so an
+    # explicit `--dataset imdb --snapshot x.snap` is an argument error
+    # instead of the dataset flag being silently ignored.  argparse only
+    # flags *explicitly supplied* group members as conflicts, so the
+    # `--dataset` default keeps working when another source is chosen.
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
         "--dataset",
-        default="products",
+        default=_DEFAULT_DATASET,
         choices=sorted(_DATASETS),
         help="synthetic corpus to search (default: products)",
     )
-    source = parser.add_mutually_exclusive_group()
     source.add_argument(
         "--corpus-dir",
         default=None,
@@ -146,21 +200,28 @@ def _load_corpus(arguments: argparse.Namespace) -> Corpus:
 
 
 def _command_search(arguments: argparse.Namespace, out) -> int:
-    corpus = _load_corpus(arguments)
-    xsact = Xsact(corpus)
-    result_set = xsact.search(arguments.query, limit=arguments.limit)
-    print(f'{len(result_set)} result(s) for query "{arguments.query}" on corpus {corpus.name!r}:', file=out)
+    service = SearchService(_load_corpus(arguments))
+    result_set = service.search_results(
+        arguments.query, semantics=arguments.semantics, limit=arguments.limit
+    )
+    print(
+        f'{len(result_set)} result(s) for query "{arguments.query}" '
+        f"on corpus {service.corpus.name!r}:",
+        file=out,
+    )
     for result in result_set:
         print(f"  [{result.result_id}] {result.title}  (doc={result.doc_id}, score={result.score:.3f})", file=out)
     return 0
 
 
 def _command_compare(arguments: argparse.Namespace, out) -> int:
-    corpus = _load_corpus(arguments)
     config = DFSConfig(size_limit=arguments.size_limit)
-    xsact = Xsact(corpus, config=config, algorithm=arguments.algorithm)
-    outcome = xsact.search_and_compare(
-        arguments.query, top=arguments.top, size_limit=arguments.size_limit
+    service = SearchService(_load_corpus(arguments), config=config, algorithm=arguments.algorithm)
+    outcome = service.search_and_compare(
+        arguments.query,
+        top=arguments.top,
+        size_limit=arguments.size_limit,
+        semantics=arguments.semantics,
     )
     if arguments.format == "markdown":
         rendered = outcome.to_markdown()
@@ -175,6 +236,43 @@ def _command_compare(arguments: argparse.Namespace, out) -> int:
         print(f"comparison table (DoD={outcome.dod}) written to {arguments.output}", file=out)
     else:
         print(rendered, file=out)
+    return 0
+
+
+def _command_serve(arguments: argparse.Namespace, out) -> int:
+    corpus = _load_corpus(arguments)
+    # The service clamps per-request page sizes to max_page_size; widen the
+    # ceiling when the operator asks for a default above it, instead of
+    # rejecting the configuration at startup.
+    service = SearchService(
+        corpus,
+        default_page_size=arguments.page_size,
+        max_page_size=max(DEFAULT_MAX_PAGE_SIZE, arguments.page_size),
+    )
+    server = create_server(service, host=arguments.host, port=arguments.port, out=out)
+    host, port = server.server_address[:2]
+    print(
+        f"serving corpus {corpus.name!r} ({len(corpus.store)} documents) "
+        f"on http://{host}:{port} — GET /search, POST /compare, GET /healthz, GET /stats",
+        file=out,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        stats = service.stats()
+        cache = stats["cache"]
+        requests = stats["requests"]
+        print(
+            f"served {requests['search']} search / {requests['compare']} compare "
+            f"request(s); cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+            f"{cache['entries']} entr(ies) holding {cache['cached_results']} result(s)",
+            file=out,
+            flush=True,
+        )
     return 0
 
 
@@ -204,6 +302,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     handlers = {
         "search": _command_search,
         "compare": _command_compare,
+        "serve": _command_serve,
         "figure4": _command_figure4,
         "save-snapshot": _command_save_snapshot,
     }

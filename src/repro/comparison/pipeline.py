@@ -11,6 +11,12 @@ interface does:
    chosen algorithm (single-swap or multi-swap);
 5. the comparison table is assembled and can be rendered as text / Markdown /
    HTML.
+
+Since the service-layer redesign, :class:`Xsact` is a thin convenience shell
+over :class:`~repro.service.service.SearchService` — the single public entry
+point that also backs the HTTP front-end and the CLI.  Construct an ``Xsact``
+for ergonomic in-process use; construct a ``SearchService`` directly when you
+need per-request semantics, pagination, batching or the typed protocol.
 """
 
 from __future__ import annotations
@@ -21,11 +27,8 @@ from typing import List, Optional, Sequence
 from repro.comparison.render import render_html, render_markdown, render_text
 from repro.comparison.table import ComparisonTable
 from repro.core.config import DFSConfig
-from repro.core.generator import DFSGenerator, GenerationOutcome
-from repro.errors import ComparisonError
-from repro.features.extractor import FeatureExtractor
+from repro.core.generator import GenerationOutcome
 from repro.features.statistics import ResultFeatures
-from repro.search.engine import SearchEngine
 from repro.search.query import KeywordQuery
 from repro.search.result import SearchResult, SearchResultSet
 from repro.storage.corpus import Corpus
@@ -96,19 +99,26 @@ class Xsact:
         config: Optional[DFSConfig] = None,
         algorithm: str = "multi_swap",
     ):
+        # Local import: the service layer sits *above* the comparison
+        # pipeline (it returns ComparisonOutcome objects), so importing it at
+        # module scope would be circular.
+        from repro.service.service import SearchService
+
+        self.service = SearchService(corpus, config=config, algorithm=algorithm)
         self.corpus = corpus
-        self.config = config or DFSConfig()
+        self.config = self.service.config
         self.algorithm = algorithm
-        self.engine = SearchEngine(corpus)
-        self.extractor = FeatureExtractor(statistics=corpus.statistics)
-        self.generator = DFSGenerator(self.config)
+        # Kept as a real attribute for callers that tune or inspect the
+        # default-semantics engine directly (cache bounds, counters).
+        self.engine = self.service.engine_for("slca")
+        self.extractor = self.service.extractor
 
     # ------------------------------------------------------------------ #
     # Step 1: search
     # ------------------------------------------------------------------ #
     def search(self, query: "str | KeywordQuery", limit: Optional[int] = None) -> SearchResultSet:
         """Run the keyword query and return the ranked result list."""
-        return self.engine.search(query, limit=limit)
+        return self.service.search_results(query, limit=limit)
 
     # ------------------------------------------------------------------ #
     # Steps 2-5: compare selected results
@@ -140,36 +150,11 @@ class Xsact:
         ComparisonError
             When fewer than two results are selected.
         """
-        selected = (
-            result_set.select(result_ids) if result_ids is not None else list(result_set)
-        )
-        if len(selected) < 2:
-            raise ComparisonError("select at least two results to compare")
-
-        config = self.config
-        if size_limit is not None and size_limit != config.size_limit:
-            config = DFSConfig(
-                size_limit=size_limit,
-                threshold_percent=config.threshold_percent,
-                use_rates=config.use_rates,
-                compare_values=config.compare_values,
-                max_rounds=config.max_rounds,
-            )
-
-        features = [self.extractor.extract(result) for result in selected]
-        generator = DFSGenerator(config)
-        generation = generator.generate(features, algorithm=algorithm or self.algorithm)
-        table = ComparisonTable.from_dfs_set(
-            generation.dfs_set,
-            config=config,
-            column_titles=[result.title or result.result_id for result in selected],
-        )
-        return ComparisonOutcome(
-            query=result_set.query,
-            results=selected,
-            features=features,
-            generation=generation,
-            table=table,
+        return self.service.compare_selected(
+            result_set,
+            result_ids=result_ids,
+            size_limit=size_limit,
+            algorithm=algorithm,
         )
 
     def compare_documents(
@@ -186,27 +171,9 @@ class Xsact:
         builds one pseudo-result per document root and runs the same
         feature-extraction / DFS-generation / table pipeline over them.
         """
-        if len(doc_ids) < 2:
-            raise ComparisonError("select at least two documents to compare")
-        if isinstance(query, str):
-            query = KeywordQuery.parse(query)
-        results: List[SearchResult] = []
-        for position, doc_id in enumerate(doc_ids, start=1):
-            document = self.corpus.store.get(doc_id)
-            subtree = document.root.copy()
-            subtree.relabel()
-            results.append(
-                SearchResult(
-                    result_id=f"R{position}",
-                    doc_id=doc_id,
-                    match_label=document.root.label,
-                    return_label=document.root.label,
-                    subtree=subtree,
-                    title=SearchEngine._result_title(subtree, doc_id),
-                )
-            )
-        result_set = SearchResultSet(query=query, results=results)
-        return self.compare(result_set, size_limit=size_limit, algorithm=algorithm)
+        return self.service.compare_documents(
+            doc_ids, size_limit=size_limit, algorithm=algorithm, query=query
+        )
 
     def search_and_compare(
         self,
@@ -216,10 +183,6 @@ class Xsact:
         algorithm: Optional[str] = None,
     ) -> ComparisonOutcome:
         """Convenience: search and compare the top ``top`` results in one call."""
-        result_set = self.search(query)
-        if len(result_set) < 2:
-            raise ComparisonError(
-                f"query {str(query)!r} returned {len(result_set)} result(s); need at least two to compare"
-            )
-        ids = [result.result_id for result in result_set.top(top)]
-        return self.compare(result_set, result_ids=ids, size_limit=size_limit, algorithm=algorithm)
+        return self.service.search_and_compare(
+            query, top=top, size_limit=size_limit, algorithm=algorithm
+        )

@@ -20,6 +20,9 @@ __all__ = [
     "SnapshotVersionError",
     "QueryError",
     "SearchError",
+    "ServiceError",
+    "ProtocolError",
+    "InvalidCursorError",
     "EntityInferenceError",
     "FeatureExtractionError",
     "DFSConstructionError",
@@ -103,6 +106,32 @@ class QueryError(ReproError):
 
 class SearchError(ReproError):
     """Raised when search-engine evaluation fails."""
+
+
+class ServiceError(ReproError):
+    """Base class for service-layer errors (requests, cursors, protocol)."""
+
+
+class ProtocolError(ServiceError):
+    """Raised when a request/response dictionary fails protocol validation.
+
+    Covers missing required fields, wrong field types and malformed values in
+    the JSON wire format of :mod:`repro.service.protocol`.  A decoder that
+    raises this error has not constructed any request/response object.
+    """
+
+
+class InvalidCursorError(ServiceError):
+    """Raised when a pagination cursor cannot be honoured.
+
+    A cursor is opaque to callers but self-describing inside the service: it
+    records the normalised query identity, the semantics, the page offset and
+    the :attr:`~repro.storage.corpus.Corpus.version` it was issued against.
+    This error covers both undecodable cursors (truncated, tampered, not ours)
+    and *stale* cursors whose corpus version no longer matches — result
+    positions are only stable within one corpus version, so paging across a
+    mutation must restart rather than silently skip or repeat results.
+    """
 
 
 class EntityInferenceError(ReproError):

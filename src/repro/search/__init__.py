@@ -22,6 +22,12 @@ from repro.search.engine import SearchEngine
 from repro.search.query import KeywordQuery
 from repro.search.ranking import rank_results, tf_idf_score
 from repro.search.result import SearchResult, SearchResultSet
+from repro.search.semantics import (
+    available_semantics,
+    get_semantics,
+    register_semantics,
+    unregister_semantics,
+)
 from repro.search.slca import compute_slca, compute_slca_merge, compute_slca_scan
 from repro.search.xseek import infer_return_subtree
 
@@ -38,4 +44,8 @@ __all__ = [
     "SearchEngine",
     "rank_results",
     "tf_idf_score",
+    "register_semantics",
+    "unregister_semantics",
+    "get_semantics",
+    "available_semantics",
 ]

@@ -27,20 +27,26 @@ broad queries hold an unbounded slice of the corpus in memory.  When an
 insertion pushes the total over the budget, least-recently-used entries are
 evicted until it fits; a single result list larger than the whole budget is
 simply not retained.
+
+The engine is safe to share between threads over a read-only corpus: cache
+probes, insertions and the hit/miss counters are lock-guarded, while query
+evaluation itself runs outside the lock so distinct queries proceed in
+parallel (see :class:`~repro.service.service.SearchService`, which keeps one
+engine per semantics behind a single service facade).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Dict, List, Literal, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SearchError
-from repro.search.elca import compute_elca
 from repro.search.query import KeywordQuery
 from repro.search.ranking import rank_results
 from repro.search.result import SearchResult, SearchResultSet
-from repro.search.slca import compute_slca
+from repro.search.semantics import get_semantics, semantics_generation
 from repro.search.xseek import infer_return_subtree
 from repro.storage.corpus import Corpus
 from repro.storage.inverted_index import Posting
@@ -60,7 +66,9 @@ class SearchEngine:
     corpus:
         The corpus to search.
     semantics:
-        Match semantics, ``"slca"`` (default) or ``"elca"``.
+        Match semantics: ``"slca"`` (default), ``"elca"``, or any name
+        registered through
+        :func:`~repro.search.semantics.register_semantics`.
     cache_size:
         Maximum number of distinct queries whose ranked results are kept in
         the LRU cache; ``0`` disables caching entirely.
@@ -74,21 +82,27 @@ class SearchEngine:
     def __init__(
         self,
         corpus: Corpus,
-        semantics: Literal["slca", "elca"] = "slca",
+        semantics: str = "slca",
         cache_size: int = 128,
         cache_max_results: Optional[int] = 4096,
     ):
-        if semantics not in ("slca", "elca"):
-            raise SearchError(f"unknown result semantics: {semantics!r}")
+        get_semantics(semantics)  # reject unknown names at construction
         self.corpus = corpus
         self.semantics = semantics
         self.cache_size = cache_size
         self.cache_max_results = cache_max_results
-        self._cache: "OrderedDict[Tuple[Tuple[str, ...], str], List[SearchResult]]" = OrderedDict()
+        self._cache: "OrderedDict[Tuple[Tuple[str, ...], str, int], List[SearchResult]]" = OrderedDict()
         self._cached_results_total = 0
         self._cache_version = getattr(corpus, "version", None)
         self.cache_hits = 0
         self.cache_misses = 0
+        # Guards every access to the cache dict, its bookkeeping totals and
+        # the hit/miss counters.  Query *evaluation* runs outside the lock —
+        # the corpus is shared read-only — so concurrent distinct queries
+        # still evaluate in parallel; only cache probes and insertions
+        # serialise.  RLock, not Lock: clear_cache() is also called from
+        # inside the locked version check.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -116,21 +130,72 @@ class SearchEngine:
             raise SearchError(f"limit must be non-negative, got {limit}")
         if isinstance(query, str):
             query = KeywordQuery.parse(query)
+        _, results = self._materialise_page(query, 0, limit)
+        return SearchResultSet(query=query, results=results)
 
+    def search_page(
+        self, query: "KeywordQuery | str", offset: int, count: int
+    ) -> Tuple[int, SearchResultSet]:
+        """Evaluate a query and materialise one rank window of its results.
+
+        Returns ``(total, page)`` where ``total`` is the full ranked result
+        count and ``page`` holds the results at ranks ``offset+1`` to
+        ``offset+count`` with their rank-stable ids (``"R{rank}"``).  Only
+        the window is subtree-cloned — the service layer's pagination stays
+        O(page size) per request even when the ranked list is huge, instead
+        of paying a defensive copy of every cached result per page.
+
+        Raises
+        ------
+        SearchError
+            If ``offset`` or ``count`` is negative.
+        """
+        if offset < 0:
+            raise SearchError(f"offset must be non-negative, got {offset}")
+        if count < 0:
+            raise SearchError(f"count must be non-negative, got {count}")
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+        total, results = self._materialise_page(query, offset, count)
+        return total, SearchResultSet(query=query, results=results)
+
+    def _materialise_page(
+        self, query: KeywordQuery, offset: int, count: Optional[int]
+    ) -> Tuple[int, List[SearchResult]]:
+        """Clone-and-id the ranked results at ``[offset, offset+count)``."""
         ranked, shared = self._ranked_results(query)
-        selected = ranked if limit is None else ranked[:limit]
+        selected = ranked[offset:] if count is None else ranked[offset : offset + count]
         results: List[SearchResult] = []
-        for position, result in enumerate(selected, start=1):
+        for position, result in enumerate(selected, start=offset + 1):
             if shared:
                 result = self._clone_result(result)
             result.result_id = f"R{position}"
             results.append(result)
-        return SearchResultSet(query=query, results=results)
+        return len(ranked), results
 
     def clear_cache(self) -> None:
         """Drop every cached query result."""
-        self._cache.clear()
-        self._cached_results_total = 0
+        with self._lock:
+            self._cache.clear()
+            self._cached_results_total = 0
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Return a consistent snapshot of the cache counters.
+
+        The hit/miss counters were always maintained but never exposed; the
+        service layer's ``/stats`` endpoint and the ``serve`` logs read them
+        through this accessor.  Keys: ``entries`` (cached queries),
+        ``cached_results`` (total results pinned, the ``cache_max_results``
+        bound), ``hits`` and ``misses`` (lifetime counters, reset never —
+        compute rates over deltas).
+        """
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "cached_results": self._cached_results_total,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            }
 
     # ------------------------------------------------------------------ #
     # Caching
@@ -149,35 +214,59 @@ class SearchEngine:
         if self.cache_size <= 0:
             return self._evaluate(query), False
 
-        version = getattr(self.corpus, "version", None)
-        if version != self._cache_version:
-            self.clear_cache()
-            self._cache_version = version
+        # The registration generation is part of the key: re-registering a
+        # custom semantics (replace=True) changes what the name computes, and
+        # entries cached under the old function must not answer for the new
+        # one.  Old-generation entries linger unreachable until LRU eviction.
+        key = (query.cache_key, self.semantics, semantics_generation(self.semantics))
+        with self._lock:
+            version = getattr(self.corpus, "version", None)
+            if version != self._cache_version:
+                self.clear_cache()
+                self._cache_version = version
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return cached, True
+            self.cache_misses += 1
 
-        key = (query.cache_key, self.semantics)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.cache_hits += 1
-            return cached, True
-        self.cache_misses += 1
+        # Evaluate outside the lock: the corpus is shared read-only, so
+        # distinct queries proceed in parallel.  Two threads racing on the
+        # same cold query both evaluate (duplicate work, identical output);
+        # the insertion below handles the race by replacing, never
+        # double-counting.
         ranked = self._evaluate(query)
-        self._cache[key] = ranked
-        self._cached_results_total += len(ranked)
-        while self._cache and (
-            len(self._cache) > self.cache_size
-            or (
-                self.cache_max_results is not None
-                and self._cached_results_total > self.cache_max_results
-            )
-        ):
-            # LRU eviction under either bound; an oversized ranked list can
-            # evict everything including itself, so it is never retained.
-            _, evicted = self._cache.popitem(last=False)
-            self._cached_results_total -= len(evicted)
-        # If the new list itself was evicted (oversized), nothing aliases it:
-        # hand it out unshared so search() skips the defensive clones.
-        return ranked, key in self._cache
+
+        with self._lock:
+            if getattr(self.corpus, "version", None) != version:
+                # The corpus was mutated after this thread's cache probe; the
+                # list may reflect a mix of versions, so hand it out uncached.
+                # Compare against the version captured at *our* probe — the
+                # shared _cache_version may already have been re-synced to the
+                # new corpus version by another thread's probe, which would
+                # let this stale list masquerade as current.
+                return ranked, False
+            displaced = self._cache.pop(key, None)
+            if displaced is not None:
+                self._cached_results_total -= len(displaced)
+            self._cache[key] = ranked
+            self._cached_results_total += len(ranked)
+            while self._cache and (
+                len(self._cache) > self.cache_size
+                or (
+                    self.cache_max_results is not None
+                    and self._cached_results_total > self.cache_max_results
+                )
+            ):
+                # LRU eviction under either bound; an oversized ranked list
+                # can evict everything including itself, so it is never
+                # retained.
+                _, evicted = self._cache.popitem(last=False)
+                self._cached_results_total -= len(evicted)
+            # If the new list itself was evicted (oversized), nothing aliases
+            # it: hand it out unshared so search() skips the defensive clones.
+            return ranked, key in self._cache
 
     @staticmethod
     def _clone_result(result: SearchResult) -> SearchResult:
@@ -208,9 +297,10 @@ class SearchEngine:
         )
         if not posting_lists:
             return []
-        if self.semantics == "slca":
-            return compute_slca(posting_lists)
-        return compute_elca(posting_lists)
+        # Resolved through the registry on every call (a dict probe), so a
+        # semantics registered after this engine was built is immediately
+        # usable and the engine never hard-codes match algorithms.
+        return get_semantics(self.semantics)(posting_lists)
 
     def _materialise_results(self, matches: List[Posting]) -> List[SearchResult]:
         seen_return_nodes: Dict[Tuple[str, DeweyLabel], SearchResult] = {}

@@ -1,0 +1,217 @@
+"""HTTP JSON front-end over a :class:`~repro.service.service.SearchService`.
+
+The paper's demo is a web application; this module reproduces its serving
+surface on the stdlib only (``http.server``), so the system is reachable with
+nothing but ``curl``:
+
+* ``GET /search?q=...&semantics=...&page_size=...&cursor=...`` — one page of
+  ranked results (:class:`~repro.service.protocol.SearchResponse` as JSON).
+  Follow ``next_cursor`` for the next page; the query may be omitted when a
+  cursor is given.
+* ``POST /compare`` — body is a
+  :class:`~repro.service.protocol.CompareRequest` JSON object; answers with
+  the comparison table as plain data.
+* ``GET /healthz`` — liveness probe.
+* ``GET /stats`` — request counters and per-engine cache hit/miss statistics.
+* ``GET /`` — endpoint directory, so an unconfigured probe gets a map
+  instead of a bare 404.
+
+The server is a :class:`~http.server.ThreadingHTTPServer`: every request runs
+in its own thread against the one shared, thread-safe service.  Errors map to
+JSON bodies ``{"error": {"type": ..., "message": ...}}`` with conventional
+status codes — 400 for malformed requests, 404 for unknown paths and
+documents, 410 for stale/undecodable cursors (the resource genuinely went
+away: the corpus moved on), 500 for everything unexpected.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    DocumentNotFoundError,
+    InvalidCursorError,
+    ProtocolError,
+    ReproError,
+)
+from repro.service.protocol import CompareRequest, SearchRequest
+from repro.service.service import SearchService
+
+__all__ = ["XsactHTTPServer", "create_server"]
+
+_ENDPOINTS = {
+    "GET /search": "paginated keyword search (q, semantics, page_size, cursor)",
+    "POST /compare": "comparison table for a query's results (JSON body)",
+    "GET /healthz": "liveness probe",
+    "GET /stats": "request counters and cache statistics",
+}
+
+
+class XsactHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`SearchService`."""
+
+    # Worker threads must not keep a dying process alive.
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SearchService, out=None):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.out = out
+
+    def log_line(self, message: str) -> None:
+        """Write one access-log line to the configured stream, if any."""
+        if self.out is not None:
+            print(message, file=self.out, flush=True)
+
+
+def create_server(
+    service: SearchService, host: str = "127.0.0.1", port: int = 8080, out=None
+) -> XsactHTTPServer:
+    """Bind an HTTP server to ``host:port`` (``port=0`` picks a free port).
+
+    The caller owns the life cycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` to stop.  ``out`` receives one access
+    line per request (``None`` disables logging).
+    """
+    return XsactHTTPServer((host, port), service, out=out)
+
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB: far beyond any legitimate CompareRequest
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "XsactService/1.0"
+    protocol_version = "HTTP/1.1"
+    # Socket timeout per connection: a client that stalls mid-body (or never
+    # sends one) must not park a handler thread forever.
+    timeout = 60
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        split = urlsplit(self.path)
+        if split.path == "/healthz":
+            self._handle(lambda: self._respond(200, self._service.health()))
+        elif split.path == "/stats":
+            self._handle(lambda: self._respond(200, self._service.stats()))
+        elif split.path == "/search":
+            self._handle(lambda: self._search(split.query))
+        elif split.path == "/":
+            self._respond(200, {"service": "xsact", "endpoints": _ENDPOINTS})
+        else:
+            self._error(404, "NotFound", f"unknown path: {split.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        # Per-request state: the handler instance persists across keep-alive
+        # requests, so this must not leak from an earlier request.
+        self._body_consumed = False
+        split = urlsplit(self.path)
+        if split.path == "/compare":
+            self._handle(self._compare)
+        else:
+            self._error(404, "NotFound", f"unknown path: {split.path}")
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _search(self, raw_query_string: str) -> None:
+        params = parse_qs(raw_query_string)
+        request = SearchRequest(
+            query=self._param(params, "q") or self._param(params, "query") or "",
+            semantics=self._param(params, "semantics"),
+            page_size=self._int_param(params, "page_size"),
+            cursor=self._param(params, "cursor"),
+        )
+        self._respond(200, self._service.search(request).to_dict())
+
+    def _compare(self) -> None:
+        request = CompareRequest.from_dict(self._read_json_body())
+        self._respond(200, self._service.compare(request).to_dict())
+
+    # ------------------------------------------------------------------ #
+    # Request plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def _service(self) -> SearchService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _handle(self, endpoint) -> None:
+        """Run an endpoint, mapping library errors to JSON status responses."""
+        try:
+            endpoint()
+        except InvalidCursorError as error:
+            self._error(410, type(error).__name__, str(error))
+        except DocumentNotFoundError as error:
+            self._error(404, type(error).__name__, str(error))
+        except ReproError as error:
+            self._error(400, type(error).__name__, str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, type(error).__name__, str(error))
+
+    def _read_json_body(self) -> Any:
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ProtocolError(
+                f"Content-Length must be an integer, got {raw_length!r}"
+            ) from None
+        if length > _MAX_BODY_BYTES:
+            # Client-supplied, so never trusted as a buffer size.
+            raise ProtocolError(
+                f"request body too large: {length} bytes (limit {_MAX_BODY_BYTES})"
+            )
+        body = self.rfile.read(length) if length > 0 else b""
+        self._body_consumed = True
+        if not body:
+            raise ProtocolError("request body is empty; expected a JSON object")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    @staticmethod
+    def _param(params: Dict[str, list], name: str) -> Optional[str]:
+        values = params.get(name)
+        return values[-1] if values else None
+
+    def _int_param(self, params: Dict[str, list], name: str) -> Optional[int]:
+        text = self._param(params, name)
+        if text is None:
+            return None
+        try:
+            return int(text)
+        except ValueError:
+            raise ProtocolError(f"query parameter {name!r} must be an integer, got {text!r}")
+
+    # ------------------------------------------------------------------ #
+    # Response plumbing
+    # ------------------------------------------------------------------ #
+    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, error_type: str, message: str) -> None:
+        # A POST rejected before its body was read leaves the body bytes on
+        # the keep-alive connection, where they would be parsed as the next
+        # request line.  Closing the connection keeps the stream in sync;
+        # per-request error responses are rare enough that the reconnect
+        # cost is irrelevant.
+        if self.command == "POST" and not getattr(self, "_body_consumed", False):
+            self.close_connection = True
+        self._respond(status, {"error": {"type": error_type, "message": message}})
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - http.server API
+        self.server.log_line(  # type: ignore[attr-defined]
+            f"{self.address_string()} {format % args}"
+        )

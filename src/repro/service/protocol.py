@@ -1,0 +1,413 @@
+"""Typed request/response protocol of the service layer.
+
+Everything that crosses the service boundary is one of the dataclasses below:
+plain data — strings, numbers, booleans, lists — never live
+:class:`~repro.xmlmodel.node.XMLNode` graphs or engine internals.  Each type
+carries a ``to_dict``/``from_dict`` pair forming the JSON codec; the HTTP
+front-end is a thin shell over these codecs, and any other transport (a shard
+router, a message queue) can reuse them unchanged.
+
+Codec contract, enforced by property tests:
+
+* ``T.from_dict(x.to_dict()) == x`` for every instance ``x`` of every type;
+* ``to_dict`` emits only JSON-native values, so ``json.dumps`` always works;
+* ``from_dict`` validates field presence and types and raises
+  :class:`~repro.errors.ProtocolError` on malformed input — it never
+  constructs a half-valid object;
+* unknown keys are ignored on decode, so the wire format can gain fields
+  without breaking old clients.
+
+Result subtrees travel as serialised XML strings
+(:func:`~repro.xmlmodel.serializer.serialize`); Dewey labels as their dotted
+string form.  Both are stable, human-readable and round-trippable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type, Union
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "SearchRequest",
+    "ResultItem",
+    "SearchResponse",
+    "CompareRequest",
+    "CompareCell",
+    "CompareRow",
+    "CompareResponse",
+]
+
+
+# --------------------------------------------------------------------- #
+# Decode helpers
+# --------------------------------------------------------------------- #
+_MISSING = object()
+
+
+def _get(
+    data: Mapping[str, Any],
+    name: str,
+    types: Union[type, Tuple[type, ...]],
+    *,
+    where: str,
+    default: Any = _MISSING,
+) -> Any:
+    """Fetch and type-check one field of a decoded mapping.
+
+    ``bool`` is a subclass of ``int`` in Python, so an explicit check keeps
+    ``True`` from sneaking into integer fields and vice versa.
+    """
+    if name not in data:
+        if default is _MISSING:
+            raise ProtocolError(f"{where}: missing required field {name!r}")
+        return default
+    value = data[name]
+    expected = types if isinstance(types, tuple) else (types,)
+    if bool in expected:
+        if not isinstance(value, bool):
+            raise ProtocolError(
+                f"{where}: field {name!r} must be a boolean, got {type(value).__name__}"
+            )
+        return value
+    if isinstance(value, bool) or not isinstance(value, expected):
+        names = "/".join(t.__name__ for t in expected)
+        raise ProtocolError(
+            f"{where}: field {name!r} must be {names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _get_optional(
+    data: Mapping[str, Any],
+    name: str,
+    types: Union[type, Tuple[type, ...]],
+    *,
+    where: str,
+) -> Any:
+    """Like :func:`_get` but the field may be absent or ``null``."""
+    if data.get(name) is None:
+        return None
+    return _get(data, name, types, where=where)
+
+
+def _mapping(data: Any, where: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise ProtocolError(f"{where}: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _decode_list(data: Mapping[str, Any], name: str, item_type: Type, *, where: str) -> List[Any]:
+    raw = _get(data, name, list, where=where)
+    return [item_type.from_dict(item) for item in raw]
+
+
+def _str_list(data: Mapping[str, Any], name: str, *, where: str) -> List[str]:
+    raw = _get(data, name, list, where=where)
+    for item in raw:
+        if not isinstance(item, str):
+            raise ProtocolError(
+                f"{where}: field {name!r} must contain only strings, "
+                f"got {type(item).__name__}"
+            )
+    return list(raw)
+
+
+# --------------------------------------------------------------------- #
+# Search
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SearchRequest:
+    """One paginated search request.
+
+    Attributes
+    ----------
+    query:
+        The raw keyword query string.  May be empty when ``cursor`` is given —
+        the cursor already pins the normalised query identity.
+    semantics:
+        Registered match semantics to evaluate under (per request; the engine
+        is no longer frozen to one semantics).  ``None`` means unspecified:
+        the service default (``"slca"``) on a fresh search, or whatever the
+        cursor pins on a continuation.  Naming a semantics that contradicts
+        the cursor is rejected.
+    page_size:
+        Results per page; ``None`` asks for the service default.
+    cursor:
+        Opaque continuation token from a previous response's ``next_cursor``;
+        ``None`` starts at the first page.
+    """
+
+    query: str = ""
+    semantics: Optional[str] = None
+    page_size: Optional[int] = None
+    cursor: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query": self.query,
+            "semantics": self.semantics,
+            "page_size": self.page_size,
+            "cursor": self.cursor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SearchRequest":
+        data = _mapping(data, "SearchRequest")
+        return cls(
+            query=_get(data, "query", str, where="SearchRequest", default=""),
+            semantics=_get_optional(data, "semantics", str, where="SearchRequest"),
+            page_size=_get_optional(data, "page_size", int, where="SearchRequest"),
+            cursor=_get_optional(data, "cursor", str, where="SearchRequest"),
+        )
+
+
+@dataclass(frozen=True)
+class ResultItem:
+    """One search result as plain data.
+
+    The service boundary never exposes live tree nodes: the subtree is a
+    serialised XML string and the node positions are dotted Dewey labels, so
+    a response can be stored, shipped and replayed without holding corpus
+    references.
+    """
+
+    result_id: str
+    doc_id: str
+    title: str
+    score: float
+    match_label: str
+    return_label: str
+    subtree_xml: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "result_id": self.result_id,
+            "doc_id": self.doc_id,
+            "title": self.title,
+            "score": self.score,
+            "match_label": self.match_label,
+            "return_label": self.return_label,
+            "subtree_xml": self.subtree_xml,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ResultItem":
+        data = _mapping(data, "ResultItem")
+        return cls(
+            result_id=_get(data, "result_id", str, where="ResultItem"),
+            doc_id=_get(data, "doc_id", str, where="ResultItem"),
+            title=_get(data, "title", str, where="ResultItem"),
+            score=float(_get(data, "score", (int, float), where="ResultItem")),
+            match_label=_get(data, "match_label", str, where="ResultItem"),
+            return_label=_get(data, "return_label", str, where="ResultItem"),
+            subtree_xml=_get(data, "subtree_xml", str, where="ResultItem"),
+        )
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """One page of ranked results.
+
+    Attributes
+    ----------
+    query:
+        The raw query echoed back (reconstructed from the cursor when the
+        request carried no query text).
+    semantics:
+        The semantics the results were computed under.
+    total:
+        Total ranked results for the query, across all pages.
+    offset:
+        Zero-based rank of the first item of this page.
+    items:
+        The page's results, in rank order.
+    next_cursor:
+        Opaque token for the next page; ``None`` on the last page.
+    corpus_version:
+        The corpus version the page was computed against.  Cursors are only
+        valid within one version — see
+        :class:`~repro.errors.InvalidCursorError`.
+    """
+
+    query: str
+    semantics: str
+    total: int
+    offset: int
+    items: Tuple[ResultItem, ...] = ()
+    next_cursor: Optional[str] = None
+    corpus_version: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query": self.query,
+            "semantics": self.semantics,
+            "total": self.total,
+            "offset": self.offset,
+            "items": [item.to_dict() for item in self.items],
+            "next_cursor": self.next_cursor,
+            "corpus_version": self.corpus_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SearchResponse":
+        data = _mapping(data, "SearchResponse")
+        return cls(
+            query=_get(data, "query", str, where="SearchResponse"),
+            semantics=_get(data, "semantics", str, where="SearchResponse"),
+            total=_get(data, "total", int, where="SearchResponse"),
+            offset=_get(data, "offset", int, where="SearchResponse"),
+            items=tuple(_decode_list(data, "items", ResultItem, where="SearchResponse")),
+            next_cursor=_get_optional(data, "next_cursor", str, where="SearchResponse"),
+            corpus_version=_get(data, "corpus_version", int, where="SearchResponse", default=0),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Compare
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CompareRequest:
+    """One comparison request: search, select, differentiate.
+
+    Attributes
+    ----------
+    query:
+        The keyword query whose results are compared.
+    semantics:
+        Match semantics for the search stage.
+    top:
+        Compare the top-``top`` ranked results (the demo's default of ticking
+        the first checkboxes).  Ignored when ``result_ids`` is given.
+    result_ids:
+        Explicit result ids to compare (the checkbox selection), as returned
+        in :attr:`ResultItem.result_id` for the same query and semantics.
+    size_limit:
+        Optional DFS size bound ``L`` override.
+    algorithm:
+        Optional DFS construction algorithm override.
+    """
+
+    query: str
+    semantics: str = "slca"
+    top: int = 2
+    result_ids: Optional[Tuple[str, ...]] = None
+    size_limit: Optional[int] = None
+    algorithm: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query": self.query,
+            "semantics": self.semantics,
+            "top": self.top,
+            "result_ids": list(self.result_ids) if self.result_ids is not None else None,
+            "size_limit": self.size_limit,
+            "algorithm": self.algorithm,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "CompareRequest":
+        data = _mapping(data, "CompareRequest")
+        result_ids: Optional[Tuple[str, ...]] = None
+        if data.get("result_ids") is not None:
+            result_ids = tuple(_str_list(data, "result_ids", where="CompareRequest"))
+        return cls(
+            query=_get(data, "query", str, where="CompareRequest"),
+            semantics=_get(data, "semantics", str, where="CompareRequest", default="slca"),
+            top=_get(data, "top", int, where="CompareRequest", default=2),
+            result_ids=result_ids,
+            size_limit=_get_optional(data, "size_limit", int, where="CompareRequest"),
+            algorithm=_get_optional(data, "algorithm", str, where="CompareRequest"),
+        )
+
+
+@dataclass(frozen=True)
+class CompareCell:
+    """One cell of the comparison table: a value with occurrence statistics.
+
+    ``value is None`` means the column's DFS has no feature of the row's type
+    (rendered as "—" by the UI layers).
+    """
+
+    value: Optional[str] = None
+    occurrences: int = 0
+    population: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "occurrences": self.occurrences,
+            "population": self.population,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "CompareCell":
+        data = _mapping(data, "CompareCell")
+        return cls(
+            value=_get_optional(data, "value", str, where="CompareCell"),
+            occurrences=_get(data, "occurrences", int, where="CompareCell", default=0),
+            population=_get(data, "population", int, where="CompareCell", default=0),
+        )
+
+
+@dataclass(frozen=True)
+class CompareRow:
+    """One row of the comparison table: a feature type across all columns."""
+
+    feature_type: str
+    differentiating: bool
+    cells: Tuple[CompareCell, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "feature_type": self.feature_type,
+            "differentiating": self.differentiating,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "CompareRow":
+        data = _mapping(data, "CompareRow")
+        return cls(
+            feature_type=_get(data, "feature_type", str, where="CompareRow"),
+            differentiating=_get(data, "differentiating", bool, where="CompareRow"),
+            cells=tuple(_decode_list(data, "cells", CompareCell, where="CompareRow")),
+        )
+
+
+@dataclass(frozen=True)
+class CompareResponse:
+    """The comparison table as plain data, plus the compared results."""
+
+    query: str
+    semantics: str
+    dod: int
+    column_ids: Tuple[str, ...] = ()
+    column_titles: Tuple[str, ...] = ()
+    rows: Tuple[CompareRow, ...] = ()
+    results: Tuple[ResultItem, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query": self.query,
+            "semantics": self.semantics,
+            "dod": self.dod,
+            "column_ids": list(self.column_ids),
+            "column_titles": list(self.column_titles),
+            "rows": [row.to_dict() for row in self.rows],
+            "results": [item.to_dict() for item in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "CompareResponse":
+        data = _mapping(data, "CompareResponse")
+        return cls(
+            query=_get(data, "query", str, where="CompareResponse"),
+            semantics=_get(data, "semantics", str, where="CompareResponse"),
+            dod=_get(data, "dod", int, where="CompareResponse"),
+            column_ids=tuple(_str_list(data, "column_ids", where="CompareResponse")),
+            column_titles=tuple(_str_list(data, "column_titles", where="CompareResponse")),
+            rows=tuple(_decode_list(data, "rows", CompareRow, where="CompareResponse")),
+            results=tuple(_decode_list(data, "results", ResultItem, where="CompareResponse")),
+        )

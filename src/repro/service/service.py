@@ -1,0 +1,552 @@
+"""The :class:`SearchService` façade — the system's single public entry point.
+
+The paper's demo is a web application: users issue keyword queries, page
+through ranked results, tick checkboxes and request comparison tables.  This
+module is the serving surface behind that interaction, designed so every
+front-end — the HTTP JSON API (:mod:`repro.service.http`), the CLI, the
+:class:`~repro.comparison.pipeline.Xsact` Python facade, and eventually a
+shard router — goes through the same object:
+
+* one shared **read-only corpus**, one lazily-created
+  :class:`~repro.search.engine.SearchEngine` per *semantics* (engines pin
+  their semantics into the cache key, so per-request semantics means picking
+  the engine, never rebuilding one);
+* **typed requests and responses** (:mod:`repro.service.protocol`) — callers
+  see plain data, never live tree nodes;
+* **stable cursor pagination** (:mod:`repro.service.cursor`) — a page's
+  ``next_cursor`` pins the normalised query, semantics, offset and corpus
+  version, so the follow-up request re-slices the engine's cached ranked
+  list (a cache hit, no re-evaluation) and is rejected as stale after any
+  corpus mutation;
+* **batch execution** — :meth:`SearchService.search_many` evaluates each
+  distinct ``(normalised query, semantics)`` pair once per batch, even when
+  the engine cache is disabled or already evicted the entry;
+* thread safety throughout: the engine guards its cache internally, the
+  service guards engine creation and its request counters, and everything
+  else is read-only.
+
+A future sharded deployment only has to implement this class's method
+surface over many corpora; the protocol types and front-ends carry over
+unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.comparison.table import ComparisonTable
+from repro.core.config import DFSConfig
+from repro.core.generator import DFSGenerator
+from repro.errors import ComparisonError, InvalidCursorError, ServiceError
+from repro.features.extractor import FeatureExtractor
+from repro.search.engine import SearchEngine
+from repro.search.query import KeywordQuery
+from repro.search.result import SearchResult, SearchResultSet
+from repro.search.semantics import available_semantics, semantics_generation
+from repro.service.cursor import decode_cursor, encode_cursor
+from repro.service.protocol import (
+    CompareCell,
+    CompareRequest,
+    CompareResponse,
+    CompareRow,
+    ResultItem,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.storage.corpus import Corpus
+from repro.xmlmodel.serializer import serialize
+
+__all__ = ["SearchService", "DEFAULT_PAGE_SIZE", "DEFAULT_MAX_PAGE_SIZE"]
+
+DEFAULT_PAGE_SIZE = 10
+# Shared with the CLI `serve` command, which widens its service's ceiling
+# when the operator configures a larger default page size.
+DEFAULT_MAX_PAGE_SIZE = 100
+
+
+class SearchService:
+    """Request/response service over one corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus to serve.  The service treats it as read-only; mutations
+        (performed out of band) invalidate engine caches and outstanding
+        cursors via :attr:`~repro.storage.corpus.Corpus.version`.
+    config:
+        Default DFS construction configuration for comparisons.
+    algorithm:
+        Default DFS construction algorithm.
+    cache_size / cache_max_results:
+        Per-engine query-cache bounds, passed through to every
+        :class:`~repro.search.engine.SearchEngine` the service creates.
+    default_page_size:
+        Page size used when a request does not specify one.
+    max_page_size:
+        Hard ceiling on the per-request page size; larger asks are clamped
+        (a public endpoint must not let one request materialise an unbounded
+        page).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        config: Optional[DFSConfig] = None,
+        algorithm: str = "multi_swap",
+        cache_size: int = 128,
+        cache_max_results: Optional[int] = 4096,
+        default_page_size: int = DEFAULT_PAGE_SIZE,
+        max_page_size: int = DEFAULT_MAX_PAGE_SIZE,
+    ):
+        if default_page_size <= 0:
+            raise ServiceError(f"default_page_size must be positive, got {default_page_size}")
+        if max_page_size < default_page_size:
+            raise ServiceError(
+                f"max_page_size ({max_page_size}) must be >= default_page_size "
+                f"({default_page_size})"
+            )
+        self.corpus = corpus
+        self.config = config or DFSConfig()
+        self.algorithm = algorithm
+        self.default_page_size = default_page_size
+        self.max_page_size = max_page_size
+        self.extractor = FeatureExtractor(statistics=corpus.statistics)
+        self._cache_size = cache_size
+        self._cache_max_results = cache_max_results
+        self._engines: Dict[str, SearchEngine] = {}
+        self._lock = threading.Lock()
+        self._search_count = 0
+        self._compare_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Engines
+    # ------------------------------------------------------------------ #
+    def engine_for(self, semantics: str) -> SearchEngine:
+        """Return the engine for a semantics, creating it on first use.
+
+        Raises
+        ------
+        SearchError
+            If ``semantics`` is not registered (see
+            :mod:`repro.search.semantics`).
+        """
+        with self._lock:
+            engine = self._engines.get(semantics)
+            if engine is None:
+                engine = SearchEngine(
+                    self.corpus,
+                    semantics=semantics,
+                    cache_size=self._cache_size,
+                    cache_max_results=self._cache_max_results,
+                )
+                self._engines[semantics] = engine
+            return engine
+
+    # ------------------------------------------------------------------ #
+    # Rich API (Python callers: Xsact, CLI, tests)
+    # ------------------------------------------------------------------ #
+    def search_results(
+        self,
+        query: "str | KeywordQuery",
+        semantics: str = "slca",
+        limit: Optional[int] = None,
+    ) -> SearchResultSet:
+        """Evaluate a query and return the rich, in-process result set."""
+        with self._lock:
+            self._search_count += 1
+        return self._evaluate_results(query, semantics=semantics, limit=limit)
+
+    def _evaluate_results(
+        self,
+        query: "str | KeywordQuery",
+        semantics: str = "slca",
+        limit: Optional[int] = None,
+    ) -> SearchResultSet:
+        """Engine evaluation without touching the request counters.
+
+        The counters mean *requests served*, not evaluations: internal
+        searches (the search stage of a compare, batch memo fills) must not
+        inflate them, so every public entry point counts itself exactly once
+        and routes here.
+        """
+        return self.engine_for(semantics).search(query, limit=limit)
+
+    def compare_selected(
+        self,
+        result_set: SearchResultSet,
+        result_ids: Optional[Sequence[str]] = None,
+        size_limit: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ):
+        """Compare selected results of a result set (the checkbox flow).
+
+        Returns a :class:`~repro.comparison.pipeline.ComparisonOutcome`.
+
+        Raises
+        ------
+        ComparisonError
+            When fewer than two results are selected.
+        """
+        from repro.comparison.pipeline import ComparisonOutcome
+
+        selected = (
+            result_set.select(result_ids) if result_ids is not None else list(result_set)
+        )
+        if len(selected) < 2:
+            raise ComparisonError("select at least two results to compare")
+        with self._lock:
+            self._compare_count += 1
+
+        config = self.config
+        if size_limit is not None and size_limit != config.size_limit:
+            config = DFSConfig(
+                size_limit=size_limit,
+                threshold_percent=config.threshold_percent,
+                use_rates=config.use_rates,
+                compare_values=config.compare_values,
+                max_rounds=config.max_rounds,
+            )
+
+        features = [self.extractor.extract(result) for result in selected]
+        generator = DFSGenerator(config)
+        generation = generator.generate(features, algorithm=algorithm or self.algorithm)
+        table = ComparisonTable.from_dfs_set(
+            generation.dfs_set,
+            config=config,
+            column_titles=[result.title or result.result_id for result in selected],
+        )
+        return ComparisonOutcome(
+            query=result_set.query,
+            results=selected,
+            features=features,
+            generation=generation,
+            table=table,
+        )
+
+    def compare_documents(
+        self,
+        doc_ids: Sequence[str],
+        size_limit: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        query: "str | KeywordQuery" = "document comparison",
+    ):
+        """Compare whole documents (the Outdoor Retailer brand scenario)."""
+        if len(doc_ids) < 2:
+            raise ComparisonError("select at least two documents to compare")
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+        results: List[SearchResult] = []
+        for position, doc_id in enumerate(doc_ids, start=1):
+            document = self.corpus.store.get(doc_id)
+            subtree = document.root.copy()
+            subtree.relabel()
+            results.append(
+                SearchResult(
+                    result_id=f"R{position}",
+                    doc_id=doc_id,
+                    match_label=document.root.label,
+                    return_label=document.root.label,
+                    subtree=subtree,
+                    title=SearchEngine._result_title(subtree, doc_id),
+                )
+            )
+        result_set = SearchResultSet(query=query, results=results)
+        return self.compare_selected(result_set, size_limit=size_limit, algorithm=algorithm)
+
+    def search_and_compare(
+        self,
+        query: "str | KeywordQuery",
+        top: int = 2,
+        size_limit: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        semantics: str = "slca",
+    ):
+        """Convenience: search and compare the top ``top`` results."""
+        result_set = self._evaluate_results(query, semantics=semantics)
+        ids = self._top_ids(result_set, top, query)
+        return self.compare_selected(
+            result_set, result_ids=ids, size_limit=size_limit, algorithm=algorithm
+        )
+
+    @staticmethod
+    def _top_ids(
+        result_set: SearchResultSet, top: int, query: "str | KeywordQuery"
+    ) -> List[str]:
+        """Ids of the top-``top`` results, the default checkbox selection.
+
+        Raises
+        ------
+        ComparisonError
+            When the query produced fewer than two results — shared by the
+            rich and the wire compare paths so both report identically.
+        """
+        if len(result_set) < 2:
+            raise ComparisonError(
+                f"query {str(query)!r} returned {len(result_set)} result(s); "
+                f"need at least two to compare"
+            )
+        return [result.result_id for result in result_set.top(top)]
+
+    # ------------------------------------------------------------------ #
+    # Protocol API (wire callers: HTTP front-end, shard routers)
+    # ------------------------------------------------------------------ #
+    def search(self, request: SearchRequest) -> SearchResponse:
+        """Serve one paginated search request."""
+
+        def fetch(
+            query: KeywordQuery, semantics: str, offset: int, count: int
+        ) -> Tuple[int, List[SearchResult]]:
+            total, page = self.engine_for(semantics).search_page(query, offset, count)
+            return total, page.results
+
+        return self._paged_search(request, fetch)
+
+    def search_many(self, requests: Sequence[SearchRequest]) -> List[SearchResponse]:
+        """Serve a batch of search requests.
+
+        Each distinct ``(normalised query, semantics)`` pair in the batch is
+        evaluated once, and single-window requests only pay subtree clones
+        for their own page.  The one exception: a query whose ranked list is
+        too large for the engine cache to retain *and* whose batch entries
+        span multiple distinct windows is evaluated at most twice (the
+        second evaluation materialises the full set, which then serves every
+        further window from the batch memo).
+        """
+        window_memo: Dict[
+            Tuple[Tuple[str, ...], str, int, int], Tuple[int, List[SearchResult]]
+        ] = {}
+        full_memo: Dict[Tuple[Tuple[str, ...], str], SearchResultSet] = {}
+
+        def fetch(
+            query: KeywordQuery, semantics: str, offset: int, count: int
+        ) -> Tuple[int, List[SearchResult]]:
+            pair = (query.cache_key, semantics)
+            full = full_memo.get(pair)
+            if full is not None:
+                return len(full), full.results[offset : offset + count]
+            key = pair + (offset, count)
+            window = window_memo.get(key)
+            if window is not None:
+                return window
+            engine = self.engine_for(semantics)
+            first_window = not any(k[:2] == pair for k in window_memo)
+            if engine.cache_size > 0 and first_window:
+                # Cheap path for the first window of a pair: O(page) clones,
+                # and the engine cache dedups evaluation for repeats.
+                total, page = engine.search_page(query, offset, count)
+                window_memo[key] = (total, page.results)
+                return window_memo[key]
+            # A second distinct window (the engine cache may not have
+            # retained an oversized list) or a disabled cache: materialise
+            # the full ranked set once and serve every further window from
+            # it.  Sharing results between batch entries is safe:
+            # serialisation never mutates a result.
+            result_set = engine.search(query)
+            full_memo[pair] = result_set
+            return len(result_set), result_set.results[offset : offset + count]
+
+        return [self._paged_search(request, fetch) for request in requests]
+
+    def _paged_search(
+        self,
+        request: SearchRequest,
+        fetch: Callable[[KeywordQuery, str, int, int], Tuple[int, List[SearchResult]]],
+    ) -> SearchResponse:
+        """Shared pagination core of :meth:`search` and :meth:`search_many`."""
+        with self._lock:
+            self._search_count += 1
+        if request.page_size is not None and request.page_size <= 0:
+            raise ServiceError(f"page_size must be positive, got {request.page_size}")
+
+        # One version for the whole request: staleness check, cursor stamp
+        # and response all use the value read *before* evaluation.  If the
+        # corpus mutates mid-request, the issued cursor then fails the next
+        # request's staleness check instead of silently pointing a pre-
+        # mutation offset at a post-mutation ranked list.
+        version = self.corpus.version
+        if request.cursor is not None:
+            cursor = decode_cursor(request.cursor)
+            if cursor.corpus_version != version:
+                raise InvalidCursorError(
+                    f"stale cursor: issued for corpus version {cursor.corpus_version}, "
+                    f"corpus is now at version {version}; restart pagination"
+                )
+            # The cursor pins the normalised query and semantics; request
+            # fields may be omitted on a continuation, but when present they
+            # must agree with it — a cursor glued onto a different search is
+            # a caller error in either field, never a silent override.
+            if request.query:
+                if KeywordQuery.parse(request.query).cache_key != cursor.keywords:
+                    raise InvalidCursorError(
+                        f"cursor does not belong to query {request.query!r}"
+                    )
+            if request.semantics is not None and request.semantics != cursor.semantics:
+                raise InvalidCursorError(
+                    f"cursor was issued under semantics {cursor.semantics!r}, "
+                    f"request asks for {request.semantics!r}"
+                )
+            if semantics_generation(cursor.semantics) != cursor.semantics_generation:
+                # The name now resolves to a different function than the one
+                # that ranked page 1 (replace=True or unregister+register):
+                # re-slicing the new ranked list at the old offset would skip
+                # or repeat results, just like a corpus mutation would.
+                raise InvalidCursorError(
+                    f"semantics {cursor.semantics!r} was re-registered since this "
+                    f"cursor was issued; restart pagination"
+                )
+            query = KeywordQuery(keywords=cursor.keywords, raw=request.query)
+            semantics = cursor.semantics
+            offset = cursor.offset
+            # The cursor pins the walk's page size, so a cursor-only
+            # continuation keeps its page boundaries; an explicit page_size
+            # on the follow-up deliberately re-sizes the walk.
+            page_size = (
+                request.page_size if request.page_size is not None else cursor.page_size
+            )
+        else:
+            query = KeywordQuery.parse(request.query)
+            semantics = request.semantics if request.semantics is not None else "slca"
+            offset = 0
+            page_size = (
+                request.page_size if request.page_size is not None else self.default_page_size
+            )
+        page_size = min(page_size, self.max_page_size)
+
+        total, page = fetch(query, semantics, offset, page_size)
+        if request.cursor is not None and self.corpus.version != version:
+            # The corpus mutated between the staleness check and evaluation;
+            # this page was sliced from a post-mutation ranked list with a
+            # pre-mutation offset, so serving it could silently skip or
+            # repeat results — the exact thing the cursor contract forbids.
+            # (A fresh search has no cross-page consistency to protect: it
+            # keeps the pre-fetch version stamp, and any follow-up cursor is
+            # then rejected as stale.)
+            raise InvalidCursorError(
+                f"corpus mutated during pagination (version {version} -> "
+                f"{self.corpus.version}); restart pagination"
+            )
+        next_offset = offset + page_size
+        next_cursor = None
+        if next_offset < total:
+            next_cursor = encode_cursor(
+                keywords=query.cache_key,
+                semantics=semantics,
+                offset=next_offset,
+                corpus_version=version,
+                page_size=page_size,
+                semantics_generation=semantics_generation(semantics),
+            )
+        return SearchResponse(
+            query=str(query),
+            semantics=semantics,
+            total=total,
+            offset=offset,
+            items=tuple(self._result_item(result) for result in page),
+            next_cursor=next_cursor,
+            corpus_version=version,
+        )
+
+    def compare(self, request: CompareRequest) -> CompareResponse:
+        """Serve one comparison request and return the table as plain data."""
+        result_set = self._evaluate_results(request.query, semantics=request.semantics)
+        if request.result_ids is not None:
+            try:
+                selected = result_set.select(request.result_ids)
+            except KeyError as exc:
+                # On the wire an unknown checkbox id is a client error.  Only
+                # the id lookup is mapped — a KeyError out of the comparison
+                # pipeline itself would be a server bug and must surface as
+                # one.
+                raise ComparisonError(f"unknown result id: {exc.args[0]!r}") from exc
+            # Hand the pre-selected subset on (result_ids=None keeps set
+            # order) so the ids are resolved exactly once.
+            result_set = SearchResultSet(query=result_set.query, results=selected)
+            ids = None
+        else:
+            ids = self._top_ids(result_set, request.top, request.query)
+        outcome = self.compare_selected(
+            result_set,
+            result_ids=ids,
+            size_limit=request.size_limit,
+            algorithm=request.algorithm,
+        )
+        rows = tuple(
+            CompareRow(
+                feature_type=str(row.feature_type),
+                differentiating=row.differentiating,
+                cells=tuple(
+                    CompareCell(
+                        value=cell.value,
+                        occurrences=cell.occurrences,
+                        population=cell.population,
+                    )
+                    for cell in row.cells
+                ),
+            )
+            for row in outcome.table.rows
+        )
+        return CompareResponse(
+            query=request.query,
+            semantics=request.semantics,
+            dod=outcome.dod,
+            column_ids=tuple(outcome.table.column_ids),
+            column_titles=tuple(outcome.table.column_titles),
+            rows=rows,
+            results=tuple(self._result_item(result) for result in outcome.results),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        """Liveness summary served by ``GET /healthz``."""
+        return {
+            "status": "ok",
+            "corpus": self.corpus.name,
+            "documents": len(self.corpus.store),
+            "corpus_version": self.corpus.version,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters served by ``GET /stats``.
+
+        Includes the per-engine cache statistics (the engine's hit/miss
+        counters used to be maintained but never exposed) plus an aggregate
+        over all semantics.
+        """
+        with self._lock:
+            engines = dict(self._engines)
+            search_count = self._search_count
+            compare_count = self._compare_count
+        per_engine = {name: engine.cache_stats() for name, engine in engines.items()}
+        aggregate = {"entries": 0, "cached_results": 0, "hits": 0, "misses": 0}
+        for snapshot in per_engine.values():
+            for key in aggregate:
+                aggregate[key] += snapshot[key]
+        return {
+            "corpus": {
+                "name": self.corpus.name,
+                "documents": len(self.corpus.store),
+                "version": self.corpus.version,
+            },
+            "requests": {"search": search_count, "compare": compare_count},
+            "semantics": available_semantics(),
+            "cache": aggregate,
+            "engines": per_engine,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _result_item(result: SearchResult) -> ResultItem:
+        return ResultItem(
+            result_id=result.result_id,
+            doc_id=result.doc_id,
+            title=result.title,
+            score=float(result.score),
+            match_label=str(result.match_label),
+            return_label=str(result.return_label),
+            subtree_xml=serialize(result.subtree),
+        )

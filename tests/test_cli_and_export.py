@@ -55,6 +55,49 @@ class TestParser:
         assert arguments.output == "x.snap"
         assert arguments.dataset == "products"
 
+    def test_serve_subcommand_registered(self):
+        arguments = build_parser().parse_args(["serve", "--port", "0"])
+        assert arguments.command == "serve"
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 0
+        assert arguments.page_size == 10
+        assert arguments.dataset == "products"
+
+    def test_serve_rejects_bad_page_size(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--page-size", "0"])
+
+    def test_semantics_flag(self):
+        arguments = build_parser().parse_args(["search", "--query", "gps", "--semantics", "elca"])
+        assert arguments.semantics == "elca"
+        assert build_parser().parse_args(["search", "--query", "gps"]).semantics == "slca"
+
+    def test_explicit_corpus_source_conflicts_rejected(self):
+        # Regression: --dataset used to be silently ignored when --corpus-dir
+        # or --snapshot was also given; the three sources are now a proper
+        # mutually exclusive choice.
+        for command in (["search", "--query", "gps"], ["save-snapshot", "--output", "o"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    command + ["--dataset", "imdb", "--snapshot", "x.snap"]
+                )
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    command + ["--dataset", "imdb", "--corpus-dir", "somewhere"]
+                )
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    command + ["--corpus-dir", "somewhere", "--snapshot", "x.snap"]
+                )
+
+    def test_default_dataset_does_not_conflict(self):
+        # The default --dataset must keep working when another source is
+        # chosen explicitly — only *explicit* conflicts are errors.
+        arguments = build_parser().parse_args(["search", "--query", "gps", "--snapshot", "x.snap"])
+        assert arguments.snapshot == "x.snap"
+        arguments = build_parser().parse_args(["search", "--query", "gps", "--corpus-dir", "d"])
+        assert arguments.corpus_dir == "d"
+
 
 class TestCliOnSavedCorpus:
     @pytest.fixture(scope="class")
@@ -125,6 +168,77 @@ class TestCliOnSavedCorpus:
         )
         assert code == 1
         assert "error:" in out.getvalue()
+
+    def test_search_with_unknown_semantics_reports_error(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            ["search", "--corpus-dir", str(corpus_dir), "--query", "gps", "--semantics", "nope"],
+            out=out,
+        )
+        assert code == 1
+        assert "unknown result semantics" in out.getvalue()
+
+    def test_serve_command_end_to_end(self, corpus_dir):
+        # Boot the real `serve` subcommand in a subprocess (port 0 = pick a
+        # free port), hit /healthz and /search over real sockets, then check
+        # the shutdown log surfaces the cache counters.
+        import json
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import threading
+        import urllib.request
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--corpus-dir",
+                str(corpus_dir),
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=str(repo_root),
+        )
+        lines = []
+
+        def read_line():
+            lines.append(process.stdout.readline())
+
+        try:
+            reader = threading.Thread(target=read_line, daemon=True)
+            reader.start()
+            reader.join(timeout=60)
+            assert lines and lines[0], "serve did not print its listening line"
+            match = re.search(r"http://[^:]+:(\d+)", lines[0])
+            assert match, f"no port in serve banner: {lines[0]!r}"
+            base = f"http://127.0.0.1:{match.group(1)}"
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+                assert json.loads(response.read())["status"] == "ok"
+            with urllib.request.urlopen(f"{base}/search?q=gps&page_size=1", timeout=10) as response:
+                payload = json.loads(response.read())
+            assert payload["items"][0]["result_id"] == "R1"
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                remaining, _ = process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                remaining, _ = process.communicate()
+        assert process.returncode == 0
+        assert "cache:" in remaining  # shutdown log surfaces hit/miss counters
 
 
 def sample_rows():

@@ -1,0 +1,230 @@
+"""End-to-end tests of the HTTP JSON front-end.
+
+A real :class:`~repro.service.http.XsactHTTPServer` is bound to an ephemeral
+port and exercised with ``urllib`` over actual sockets: search with cursor
+pagination (the second request must be served from the engine cache),
+compare via POST, the health and stats endpoints, and the error mapping.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.service.http import create_server
+from repro.service.protocol import SearchResponse
+from repro.service.service import SearchService
+
+
+@pytest.fixture(scope="module")
+def server(small_product_corpus):
+    service = SearchService(small_product_corpus, default_page_size=2)
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        assert response.headers["Content-Type"].startswith("application/json")
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def post_json(url, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def error_response(call):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        call()
+    payload = json.loads(excinfo.value.read().decode("utf-8"))
+    return excinfo.value.code, payload
+
+
+class TestSearchEndpoint:
+    def test_search_first_page(self, base_url):
+        status, payload = get_json(f"{base_url}/search?q=gps")
+        assert status == 200
+        response = SearchResponse.from_dict(payload)  # valid wire format
+        assert response.offset == 0
+        assert len(response.items) == 2  # service default page size
+        assert response.items[0].result_id == "R1"
+        assert response.next_cursor
+
+    def test_cursor_page_is_cache_hit(self, base_url, server):
+        hits_before = server.service.stats()["cache"]["hits"]
+        _, first = get_json(f"{base_url}/search?q=camera&page_size=1")
+        cursor = urllib.parse.quote(first["next_cursor"])
+        _, second = get_json(f"{base_url}/search?cursor={cursor}")
+        assert second["offset"] == 1
+        assert second["items"][0]["result_id"] == "R2"
+        hits_after = server.service.stats()["cache"]["hits"]
+        assert hits_after > hits_before  # no re-evaluation for page two
+
+    def test_search_with_semantics(self, base_url):
+        status, payload = get_json(f"{base_url}/search?q=gps&semantics=elca&page_size=100")
+        assert status == 200
+        assert payload["semantics"] == "elca"
+
+    def test_empty_query_rejected(self, base_url):
+        code, payload = error_response(lambda: get_json(f"{base_url}/search"))
+        assert code == 400
+        assert payload["error"]["type"] == "QueryError"
+
+    def test_unknown_semantics_rejected(self, base_url):
+        code, payload = error_response(
+            lambda: get_json(f"{base_url}/search?q=gps&semantics=bogus")
+        )
+        assert code == 400
+        assert payload["error"]["type"] == "SearchError"
+        assert "available" in payload["error"]["message"]
+
+    def test_bad_cursor_is_410(self, base_url):
+        code, payload = error_response(
+            lambda: get_json(f"{base_url}/search?cursor=garbage")
+        )
+        assert code == 410
+        assert payload["error"]["type"] == "InvalidCursorError"
+
+    def test_bad_page_size_rejected(self, base_url):
+        code, payload = error_response(
+            lambda: get_json(f"{base_url}/search?q=gps&page_size=many")
+        )
+        assert code == 400
+        assert payload["error"]["type"] == "ProtocolError"
+
+
+class TestCompareEndpoint:
+    def test_compare(self, base_url):
+        status, payload = post_json(
+            f"{base_url}/compare", {"query": "gps", "top": 2, "size_limit": 4}
+        )
+        assert status == 200
+        assert payload["dod"] > 0
+        assert len(payload["column_ids"]) == 2
+        assert payload["rows"]
+
+    def test_compare_malformed_body(self, base_url):
+        code, payload = error_response(
+            lambda: post_json(f"{base_url}/compare", {"query": 42})
+        )
+        assert code == 400
+        assert payload["error"]["type"] == "ProtocolError"
+
+    def test_compare_empty_body(self, base_url):
+        request = urllib.request.Request(f"{base_url}/compare", data=b"", method="POST")
+
+        def call():
+            with urllib.request.urlopen(request, timeout=10):
+                pass
+
+        code, _ = error_response(call)
+        assert code == 400
+
+    def test_oversized_body_rejected(self, base_url):
+        request = urllib.request.Request(
+            f"{base_url}/compare",
+            data=b'{"query": "gps"}',
+            headers={"Content-Length": str(2 << 20)},  # 2 MiB claim
+            method="POST",
+        )
+
+        def call():
+            with urllib.request.urlopen(request, timeout=10):
+                pass
+
+        with pytest.raises((urllib.error.HTTPError, ConnectionError, urllib.error.URLError)):
+            call()
+
+    def test_error_on_unread_body_keeps_stream_usable(self, base_url, server):
+        # A POST rejected before its body is read must not leave body bytes
+        # behind to be parsed as the next request on a keep-alive connection.
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/nope", body=b'{"query": "gps"}',
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            assert response.getheader("Connection") == "close"
+            response.read()
+            # http.client reconnects transparently after Connection: close.
+            connection.request("GET", "/healthz")
+            follow_up = connection.getresponse()
+            assert follow_up.status == 200
+            assert json.loads(follow_up.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_compare_too_few_results(self, base_url):
+        code, payload = error_response(
+            lambda: post_json(f"{base_url}/compare", {"query": "gps", "top": 1})
+        )
+        assert code == 400
+        assert payload["error"]["type"] == "ComparisonError"
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, base_url, small_product_corpus):
+        status, payload = get_json(f"{base_url}/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["documents"] == len(small_product_corpus.store)
+
+    def test_stats(self, base_url):
+        get_json(f"{base_url}/search?q=gps")
+        status, payload = get_json(f"{base_url}/stats")
+        assert status == 200
+        assert payload["requests"]["search"] >= 1
+        assert "slca" in payload["engines"]
+        for key in ("entries", "cached_results", "hits", "misses"):
+            assert key in payload["cache"]
+
+    def test_root_lists_endpoints(self, base_url):
+        status, payload = get_json(f"{base_url}/")
+        assert status == 200
+        assert "GET /search" in payload["endpoints"]
+
+    def test_unknown_path_is_404(self, base_url):
+        code, payload = error_response(lambda: get_json(f"{base_url}/nope"))
+        assert code == 404
+        assert payload["error"]["type"] == "NotFound"
+
+    def test_unknown_post_path_is_404(self, base_url):
+        code, _ = error_response(lambda: post_json(f"{base_url}/nope", {}))
+        assert code == 404
+
+    def test_parallel_requests(self, base_url):
+        from concurrent.futures import ThreadPoolExecutor
+
+        def fetch(_):
+            return get_json(f"{base_url}/search?q=gps&page_size=100")
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(fetch, range(12)))
+        first = results[0]
+        assert all(result == first for result in results)
