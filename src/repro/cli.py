@@ -163,6 +163,17 @@ def build_parser() -> argparse.ArgumentParser:
     save_snapshot.add_argument(
         "--output", required=True, help="path of the snapshot file to write"
     )
+    save_snapshot.add_argument(
+        "--format",
+        default="v2",
+        choices=["v1", "v2"],
+        help="snapshot layout: v2 (default) loads lazily via mmap, v1 is the legacy eager layout",
+    )
+    save_snapshot.add_argument(
+        "--compress",
+        action="store_true",
+        help="zlib-compress individual document records (v2 only)",
+    )
     return parser
 
 
@@ -187,13 +198,25 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     source.add_argument(
         "--snapshot",
         default=None,
-        help="load a corpus from a binary snapshot file (see the save-snapshot command)",
+        help="load a corpus from a binary snapshot file (see the save-snapshot command); "
+        "the format (v1 eager / v2 lazy) is auto-detected",
+    )
+    # Outside the exclusive group: it tunes --snapshot rather than competing
+    # with it, and is simply ignored for the other (always-eager) sources.
+    parser.add_argument(
+        "--max-materialised",
+        type=_non_negative_int,
+        default=None,
+        help="with a v2 --snapshot: LRU bound on concurrently decoded documents "
+        "(0 disables eviction; default 1024)",
     )
 
 
 def _load_corpus(arguments: argparse.Namespace) -> Corpus:
     if arguments.snapshot:
-        return Corpus.load(arguments.snapshot)
+        return Corpus.load(
+            arguments.snapshot, max_materialised=arguments.max_materialised
+        )
     if arguments.corpus_dir:
         return Corpus.from_directory(arguments.corpus_dir)
     return _DATASETS[arguments.dataset]()
@@ -251,8 +274,9 @@ def _command_serve(arguments: argparse.Namespace, out) -> int:
     )
     server = create_server(service, host=arguments.host, port=arguments.port, out=out)
     host, port = server.server_address[:2]
+    backend = corpus.store.stats()["backend"]
     print(
-        f"serving corpus {corpus.name!r} ({len(corpus.store)} documents) "
+        f"serving corpus {corpus.name!r} ({len(corpus.store)} documents, {backend} store) "
         f"on http://{host}:{port} — GET /search, POST /compare, GET /healthz, GET /stats",
         file=out,
         flush=True,
@@ -284,11 +308,14 @@ def _command_figure4(arguments: argparse.Namespace, out) -> int:
 
 def _command_save_snapshot(arguments: argparse.Namespace, out) -> int:
     corpus = _load_corpus(arguments)
-    written = corpus.save(arguments.output)
+    format_version = 1 if arguments.format == "v1" else 2
+    written = corpus.save(
+        arguments.output, format=format_version, compress=arguments.compress
+    )
     size = written.stat().st_size
     print(
         f"snapshot of corpus {corpus.name!r} ({len(corpus.store)} documents, "
-        f"{size} bytes) written to {written}",
+        f"{size} bytes, format {arguments.format}) written to {written}",
         file=out,
     )
     return 0

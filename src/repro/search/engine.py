@@ -281,7 +281,10 @@ class SearchEngine:
     def _evaluate(self, query: KeywordQuery) -> List[SearchResult]:
         matches = self._compute_matches(query)
         results = self._materialise_results(matches)
-        return rank_results(results, query, self.corpus.statistics)
+        # Index-assisted scoring: posting spans already know where every
+        # keyword occurs, so ranking never re-tokenises result subtrees (nor
+        # forces a lazy store to materialise anything beyond the results).
+        return rank_results(results, query, self.corpus.statistics, index=self.corpus.index)
 
     def _compute_matches(self, query: KeywordQuery) -> List[Posting]:
         # Resolve postings through the *normalised* keyword view — the same

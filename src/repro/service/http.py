@@ -22,6 +22,18 @@ JSON bodies ``{"error": {"type": ..., "message": ...}}`` with conventional
 status codes — 400 for malformed requests, 404 for unknown paths and
 documents, 410 for stale/undecodable cursors (the resource genuinely went
 away: the corpus moved on), 500 for everything unexpected.
+
+Conditional GET: ``/search`` and ``/stats`` responses carry an ``ETag``
+derived from the corpus version (plus, for ``/search``, the semantics name
+and its registration generation — everything server-side that can change the
+representation of a fixed URL).  A request presenting the same tag via
+``If-None-Match`` is answered ``304 Not Modified`` without evaluating the
+query or serialising a body; after any corpus mutation the version bump
+changes the tag and the next conditional request gets a full ``200``.  The
+``/stats`` tag deliberately tracks corpus state, not the monotonically
+ticking request counters — a client polling stats for *corpus* changes
+revalidates for free, and one that wants fresh counters simply omits the
+header.
 """
 
 from __future__ import annotations
@@ -37,6 +49,8 @@ from repro.errors import (
     ProtocolError,
     ReproError,
 )
+from repro.search.semantics import semantics_generation
+from repro.service.cursor import decode_cursor
 from repro.service.protocol import CompareRequest, SearchRequest
 from repro.service.service import SearchService
 
@@ -97,7 +111,7 @@ class _Handler(BaseHTTPRequestHandler):
         if split.path == "/healthz":
             self._handle(lambda: self._respond(200, self._service.health()))
         elif split.path == "/stats":
-            self._handle(lambda: self._respond(200, self._service.stats()))
+            self._handle(self._stats)
         elif split.path == "/search":
             self._handle(lambda: self._search(split.query))
         elif split.path == "/":
@@ -126,11 +140,66 @@ class _Handler(BaseHTTPRequestHandler):
             page_size=self._int_param(params, "page_size"),
             cursor=self._param(params, "cursor"),
         )
-        self._respond(200, self._service.search(request).to_dict())
+        etag = self._search_etag(request)
+        if etag is not None and self._if_none_match_hit(etag):
+            # The client already holds this page for this corpus version:
+            # skip query evaluation and result serialisation entirely.
+            self._respond_not_modified(etag)
+            return
+        self._respond(200, self._service.search(request).to_dict(), etag=etag)
+
+    def _stats(self) -> None:
+        etag = f'"stats/v{self._service.corpus.version}"'
+        if self._if_none_match_hit(etag):
+            self._respond_not_modified(etag)
+            return
+        self._respond(200, self._service.stats(), etag=etag)
 
     def _compare(self) -> None:
         request = CompareRequest.from_dict(self._read_json_body())
         self._respond(200, self._service.compare(request).to_dict())
+
+    def _search_etag(self, request: SearchRequest) -> Optional[str]:
+        """Validator for a /search URL: corpus version + semantics identity.
+
+        The URL itself pins the query, cursor and page size, so the tag only
+        has to cover the server-side state that can change the answer for a
+        fixed URL: the corpus version (any mutation re-ranks) and which
+        function the semantics name currently resolves to (its registration
+        generation).  The semantics comes from the explicit parameter, else
+        from the cursor, else it is the service default; an undecodable
+        cursor yields no tag and falls through to the normal 410 path.
+        """
+        semantics = request.semantics
+        if semantics is None and request.cursor is not None:
+            try:
+                semantics = decode_cursor(request.cursor).semantics
+            except InvalidCursorError:
+                return None
+        if semantics is None:
+            semantics = "slca"
+        version = self._service.corpus.version
+        return f'"search/v{version}/{semantics}.{semantics_generation(semantics)}"'
+
+    def _if_none_match_hit(self, etag: str) -> bool:
+        """True when the request's ``If-None-Match`` matches ``etag``.
+
+        Weak comparison: a ``W/`` prefix on either side is ignored, per RFC
+        9110 — the tags guard cache freshness, not byte-range reuse.
+        """
+        header = self.headers.get("If-None-Match")
+        if header is None:
+            return False
+        if header.strip() == "*":
+            return True
+        own = etag[2:] if etag.startswith("W/") else etag
+        for candidate in header.split(","):
+            candidate = candidate.strip()
+            if candidate.startswith("W/"):
+                candidate = candidate[2:]
+            if candidate == own:
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # Request plumbing
@@ -191,15 +260,28 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # Response plumbing
     # ------------------------------------------------------------------ #
-    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+    def _respond(self, status: int, payload: Dict[str, Any], etag: Optional[str] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _respond_not_modified(self, etag: str) -> None:
+        # 304 carries no body by definition; the ETag is echoed so caches
+        # can refresh their validator, and Content-Length 0 keeps pipelined
+        # keep-alive clients from waiting for bytes that never come.
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
 
     def _error(self, status: int, error_type: str, message: str) -> None:
         # A POST rejected before its body was read leaves the body bytes on

@@ -513,7 +513,9 @@ class SearchService:
 
         Includes the per-engine cache statistics (the engine's hit/miss
         counters used to be maintained but never exposed) plus an aggregate
-        over all semantics.
+        over all semantics, and the document-store backend counters — for a
+        lazily-loaded corpus those are the materialised/evicted/decoded
+        figures operators watch to size ``max_materialised``.
         """
         with self._lock:
             engines = dict(self._engines)
@@ -529,6 +531,7 @@ class SearchService:
                 "name": self.corpus.name,
                 "documents": len(self.corpus.store),
                 "version": self.corpus.version,
+                "store": self.corpus.store.stats(),
             },
             "requests": {"search": search_count, "compare": compare_count},
             "semantics": available_semantics(),

@@ -21,9 +21,21 @@ paper).  That engine needs three storage-level services, all provided here:
   re-tokenising the corpus; see :meth:`Corpus.save` / :meth:`Corpus.load`.
 """
 
-from repro.storage.document_store import DocumentStore, StoredDocument
+from repro.storage.document_store import BaseDocumentStore, DocumentStore, StoredDocument
 from repro.storage.inverted_index import InvertedIndex, Posting
-from repro.storage.snapshot import SnapshotHeader, read_snapshot_header
+from repro.storage.lazy_store import (
+    DEFAULT_MAX_MATERIALISED,
+    DocumentRecord,
+    LazyDocumentStore,
+)
+from repro.storage.snapshot import (
+    DEFAULT_FORMAT,
+    FORMAT_VERSION,
+    FORMAT_VERSION_V1,
+    FORMAT_VERSION_V2,
+    SnapshotHeader,
+    read_snapshot_header,
+)
 from repro.storage.statistics import CorpusStatistics, PathSummary
 from repro.storage.term_dictionary import TermDictionary
 from repro.storage.tokenizer import STOPWORDS, tokenize, tokenize_many
@@ -31,7 +43,11 @@ from repro.storage.tokenizer import STOPWORDS, tokenize, tokenize_many
 from repro.storage.corpus import Corpus
 
 __all__ = [
+    "BaseDocumentStore",
     "DocumentStore",
+    "LazyDocumentStore",
+    "DocumentRecord",
+    "DEFAULT_MAX_MATERIALISED",
     "StoredDocument",
     "InvertedIndex",
     "Posting",
@@ -41,6 +57,10 @@ __all__ = [
     "Corpus",
     "SnapshotHeader",
     "read_snapshot_header",
+    "FORMAT_VERSION",
+    "FORMAT_VERSION_V1",
+    "FORMAT_VERSION_V2",
+    "DEFAULT_FORMAT",
     "tokenize",
     "tokenize_many",
     "STOPWORDS",

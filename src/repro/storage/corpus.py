@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.errors import StorageError
-from repro.storage.document_store import DocumentStore
+from repro.storage.document_store import BaseDocumentStore, DocumentStore
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.statistics import CorpusStatistics
 from repro.storage.term_dictionary import TermDictionary
@@ -36,7 +36,7 @@ __all__ = ["Corpus"]
 class Corpus:
     """A document store together with its inverted index and statistics."""
 
-    def __init__(self, store: DocumentStore, name: str = "corpus"):
+    def __init__(self, store: BaseDocumentStore, name: str = "corpus"):
         self.name = name
         self.store = store
         self.dictionary = TermDictionary()
@@ -64,7 +64,7 @@ class Corpus:
     def _restore(
         cls,
         *,
-        store: DocumentStore,
+        store: BaseDocumentStore,
         dictionary: TermDictionary,
         index: InvertedIndex,
         statistics: CorpusStatistics,
@@ -90,41 +90,74 @@ class Corpus:
     # ------------------------------------------------------------------ #
     # Snapshot persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(
+        self,
+        path: Union[str, Path],
+        *,
+        format: Optional[int] = None,
+        compress: bool = False,
+    ) -> Path:
         """Write this corpus as one compact binary snapshot file.
 
-        See :mod:`repro.storage.snapshot` for the format.  The snapshot
-        records :attr:`version`, so a later :meth:`load` can reject the file
-        when the corpus was mutated after the save.
+        See :mod:`repro.storage.snapshot` for the formats.  ``format``
+        selects the layout (``2`` — the default — writes the eager-head +
+        lazy-record layout, ``1`` the legacy single payload) and ``compress``
+        zlib-deflates individual v2 document records.  The snapshot records
+        :attr:`version`, so a later :meth:`load` can reject the file when the
+        corpus was mutated after the save.  Saving a lazily-loaded corpus
+        streams documents record-by-record without materialising them all.
         """
         from repro.storage.snapshot import save_corpus
 
-        return save_corpus(self, path)
+        return save_corpus(self, path, format=format, compress=compress)
 
     @classmethod
     def load(
-        cls, path: Union[str, Path], *, expected_version: Optional[int] = None
+        cls,
+        path: Union[str, Path],
+        *,
+        expected_version: Optional[int] = None,
+        eager: Optional[bool] = None,
+        max_materialised: Optional[int] = None,
     ) -> "Corpus":
         """Reconstruct a corpus from a snapshot without re-tokenising anything.
 
         The loaded corpus is equivalent to a fresh build over the same
         documents (same postings, document frequencies, path summaries and
-        ranked query results) but is materialised by a sequential read — cold
-        start skips parsing, tokenisation, interning and posting sorts.
+        ranked query results).  The snapshot format decides residency: a v1
+        file materialises every tree up front, a v2 file by default attaches
+        a :class:`~repro.storage.lazy_store.LazyDocumentStore` that keeps
+        trees in the ``mmap``-ed record section until first access (bounded
+        by ``max_materialised``; ``0`` disables eviction).  ``eager=True``
+        forces full materialisation of a v2 file; ``eager=False`` demands
+        laziness and rejects v1 files.
+
+        A lazily-loaded corpus supports every mutation: added documents live
+        in a resident overlay, and documents whose trees must be edited in
+        place are pinned first via
+        :meth:`~repro.storage.lazy_store.LazyDocumentStore.promote`
+        (copy-on-write — the mmap'd record is immutable, so an unpromoted
+        edit would be silently undone by LRU eviction and re-decode).
 
         Raises
         ------
         SnapshotFormatError
-            If the file is missing sections, truncated, corrupt, from an
-            unsupported format version, or built under a different tokenizer
-            configuration.
+            If the file is missing sections, truncated (a v2 file cut inside
+            the record section is rejected naming the damaged record),
+            corrupt, from an unsupported format version, or built under a
+            different tokenizer configuration.
         SnapshotVersionError
             If ``expected_version`` is given and the snapshot records a
             different corpus version (i.e. it is stale).
         """
         from repro.storage.snapshot import load_corpus
 
-        return load_corpus(path, expected_version=expected_version)
+        return load_corpus(
+            path,
+            expected_version=expected_version,
+            eager=eager,
+            max_materialised=max_materialised,
+        )
 
     def add_document(self, doc_id: str, root: XMLNode) -> None:
         """Add one document and update index and statistics incrementally.

@@ -1,12 +1,27 @@
-"""In-memory XML document store with directory persistence.
+"""XML document stores: the interface plus the eager in-memory backend.
 
 The store is the system's corpus abstraction: dataset generators write
 documents into it, the indexer reads them back, and search results refer to
 nodes inside stored documents by ``(doc_id, DeweyLabel)``.
+
+Two backends implement the :class:`BaseDocumentStore` interface:
+
+* :class:`DocumentStore` (this module) — the eager in-memory store every
+  corpus builder uses: documents are plain Python trees held in a dict.
+* :class:`~repro.storage.lazy_store.LazyDocumentStore` — documents live in an
+  offset-addressed, ``mmap``-backed snapshot record section and are decoded
+  on first access into a bounded LRU (snapshot format v2; see
+  :mod:`repro.storage.snapshot`).
+
+Everything above the storage layer — :class:`~repro.storage.corpus.Corpus`,
+the search engine, the service — talks to the interface only and must never
+assume a document tree is resident in memory: ``get`` is the only way to a
+root, and with the lazy backend it may decode on the spot.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
@@ -17,7 +32,7 @@ from repro.xmlmodel.node import XMLNode
 from repro.xmlmodel.parser import parse_xml_file
 from repro.xmlmodel.serializer import to_pretty_xml
 
-__all__ = ["StoredDocument", "DocumentStore"]
+__all__ = ["StoredDocument", "BaseDocumentStore", "DocumentStore"]
 
 
 @dataclass
@@ -48,25 +63,25 @@ class StoredDocument:
         return self.root.count_elements()
 
 
-class DocumentStore:
-    """An ordered collection of XML documents addressable by id."""
+class BaseDocumentStore(ABC):
+    """The document-store interface the rest of the system programs against.
 
-    def __init__(self) -> None:
-        self._documents: Dict[str, StoredDocument] = {}
+    An ordered collection of XML documents addressable by id.  Implementations
+    differ in *where the trees live* (resident Python objects vs. on-disk
+    records decoded on demand), never in observable behaviour: equal corpora
+    behind different backends answer every query identically.
+    """
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
-    def add(self, doc_id: str, root: XMLNode, metadata: Optional[Dict[str, str]] = None) -> StoredDocument:
+    @abstractmethod
+    def add(
+        self, doc_id: str, root: XMLNode, metadata: Optional[Dict[str, str]] = None
+    ) -> StoredDocument:
         """Add a document; raises :class:`StorageError` on duplicate ids."""
-        if doc_id in self._documents:
-            raise StorageError(f"duplicate document id: {doc_id!r}")
-        if not root.is_element:
-            raise StorageError("document root must be an element node")
-        document = StoredDocument(doc_id=doc_id, root=root, metadata=dict(metadata or {}))
-        self._documents[doc_id] = document
-        return document
 
+    @abstractmethod
     def remove(self, doc_id: str) -> StoredDocument:
         """Remove and return a document; raises :class:`DocumentNotFoundError`
         if missing.
@@ -75,51 +90,65 @@ class DocumentStore:
         derived state (the corpus's statistics need the tree to subtract it)
         do so without a second lookup.
         """
-        try:
-            return self._documents.pop(doc_id)
-        except KeyError:
-            raise DocumentNotFoundError(doc_id) from None
 
+    @abstractmethod
     def clear(self) -> None:
         """Remove every document."""
-        self._documents.clear()
 
     # ------------------------------------------------------------------ #
     # Access
     # ------------------------------------------------------------------ #
+    @abstractmethod
     def get(self, doc_id: str) -> StoredDocument:
         """Return the document with the given id.
+
+        This is the *only* path to a document's tree.  Lazy backends may
+        decode the tree here, so callers must treat the cost as "cheap after
+        the first access", never as free.
 
         Raises
         ------
         DocumentNotFoundError
             If the id is unknown.
         """
-        try:
-            return self._documents[doc_id]
-        except KeyError:
-            raise DocumentNotFoundError(doc_id) from None
+
+    @abstractmethod
+    def __contains__(self, doc_id: str) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[StoredDocument]:
+        """Iterate every document in insertion order.
+
+        Lazy backends decode evicted documents transiently during iteration —
+        a full scan (snapshot save, index rebuild) must not evict the hot set.
+        """
+
+    @abstractmethod
+    def document_ids(self) -> List[str]:
+        """Return the document ids in insertion order."""
+
+    @abstractmethod
+    def total_elements(self) -> int:
+        """Total number of element nodes across all documents.
+
+        Implementations answer from bookkeeping where possible — the lazy
+        backend must not materialise the corpus for a count.
+        """
+
+    @abstractmethod
+    def stats(self) -> Dict[str, object]:
+        """Introspection counters for ``/stats`` and the benchmarks.
+
+        Every backend reports at least ``backend`` (its name) and
+        ``documents``; the lazy backend adds materialisation counters.
+        """
 
     def node_at(self, doc_id: str, label: DeweyLabel) -> XMLNode:
         """Return the node identified by ``(doc_id, label)``."""
         return self.get(doc_id).node_at(label)
-
-    def __contains__(self, doc_id: str) -> bool:
-        return doc_id in self._documents
-
-    def __len__(self) -> int:
-        return len(self._documents)
-
-    def __iter__(self) -> Iterator[StoredDocument]:
-        return iter(self._documents.values())
-
-    def document_ids(self) -> List[str]:
-        """Return the document ids in insertion order."""
-        return list(self._documents)
-
-    def total_elements(self) -> int:
-        """Total number of element nodes across all documents."""
-        return sum(doc.element_count() for doc in self)
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -140,6 +169,65 @@ class DocumentStore:
             written.append(path)
         return written
 
+
+class DocumentStore(BaseDocumentStore):
+    """The eager in-memory backend: every document tree is resident."""
+
+    def __init__(self) -> None:
+        self._documents: Dict[str, StoredDocument] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, doc_id: str, root: XMLNode, metadata: Optional[Dict[str, str]] = None) -> StoredDocument:
+        """Add a document; raises :class:`StorageError` on duplicate ids."""
+        if doc_id in self._documents:
+            raise StorageError(f"duplicate document id: {doc_id!r}")
+        if not root.is_element:
+            raise StorageError("document root must be an element node")
+        document = StoredDocument(doc_id=doc_id, root=root, metadata=dict(metadata or {}))
+        self._documents[doc_id] = document
+        return document
+
+    def remove(self, doc_id: str) -> StoredDocument:
+        try:
+            return self._documents.pop(doc_id)
+        except KeyError:
+            raise DocumentNotFoundError(doc_id) from None
+
+    def clear(self) -> None:
+        self._documents.clear()
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def get(self, doc_id: str) -> StoredDocument:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise DocumentNotFoundError(doc_id) from None
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[StoredDocument]:
+        return iter(self._documents.values())
+
+    def document_ids(self) -> List[str]:
+        return list(self._documents)
+
+    def total_elements(self) -> int:
+        return sum(doc.element_count() for doc in self)
+
+    def stats(self) -> Dict[str, object]:
+        return {"backend": "eager", "documents": len(self._documents)}
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
     @classmethod
     def load_from_directory(cls, directory: Union[str, Path]) -> "DocumentStore":
         """Load every ``*.xml`` file in ``directory`` into a new store.

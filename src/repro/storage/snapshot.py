@@ -1,57 +1,83 @@
-"""Binary corpus snapshots: tokenisation-free cold start.
+"""Binary corpus snapshots: tokenisation-free cold start, lazy documents.
 
 Building a :class:`~repro.storage.corpus.Corpus` from XML is dominated by
 tokenisation (~60% of build time after PR 2) — every node's tag, text and
 attribute values pass through the regex tokenizer and the interning
 dictionary.  For an interactive system the corpus must be *available* before
-the first query can run, so cold-start latency is user-facing.  This module
-removes the dominant cost: a snapshot serialises a whole corpus — document
-trees, shared :class:`~repro.storage.term_dictionary.TermDictionary`,
-finalized :class:`~repro.storage.inverted_index.InvertedIndex` posting lists
-with their per-document offset maps, and
+the first query can run, so cold-start latency is user-facing.  A snapshot
+serialises a whole corpus — document trees, shared
+:class:`~repro.storage.term_dictionary.TermDictionary`, finalized
+:class:`~repro.storage.inverted_index.InvertedIndex` posting lists with their
+per-document offset maps, and
 :class:`~repro.storage.statistics.CorpusStatistics` tables — into one compact
-versioned binary file, and :func:`load_corpus` reconstructs all of it with a
-sequential read and *zero* tokenisation, regex work or posting sorts.
+versioned binary file, reconstructed with *zero* tokenisation, regex work or
+posting sorts.
 
-File layout
------------
+Two formats are readable; saves default to v2.
+
+Format v1 — one eager payload
+-----------------------------
 ::
 
-    magic "XSACTSNAP\\0" | format u16 | corpus version u64 | payload crc32 u32
-    | payload length u64 | name length u16 | name utf-8 | header crc32 u32
+    magic "XSACTSNAP\\0" | format=1 u16 | corpus version u64 | payload crc32
+    u32 | payload length u64 | name length u16 | name utf-8 | header crc32 u32
     | payload
 
-The trailing header checksum covers everything before it (magic through
-name), so damage to the header fields themselves — not just the payload — is
-detected instead of, say, a flipped corpus-version bit silently defeating
-the staleness check.
+The payload holds four sections — term dictionary, document trees, inverted
+index, statistics — and :func:`load_corpus` materialises every document tree
+up front.  Cold start and resident memory both scale with corpus size.
 
-The payload is a stream of varints, length-prefixed UTF-8 strings and raw
-little-endian ``u32`` arrays (used for the posting tables, so the hot decode
-path reads bulk ``array('I')`` data instead of a varint per posting), holding
-four sections: term dictionary, document trees, inverted index, statistics.
+Format v2 — eager head + lazy record section
+--------------------------------------------
+::
+
+    magic "XSACTSNAP\\0" | format=2 u16 | corpus version u64 | head crc32 u32
+    | head length u64 | record section length u64 | name length u16
+    | name utf-8 | header crc32 u32 | head | record section
+
+The *head* is everything queries need before touching a document tree: the
+term dictionary, a **document directory** (per document: id, metadata, record
+offset/length/checksum/compression flag, element count), per-document **label
+tables** (each element's Dewey label, delta-encoded against pre-order), the
+inverted-index run tables resolved against those labels, and the statistics.
+The *record section* is the bulk: one varint-encoded tree record per
+document, offset-addressed, optionally zlib-deflated per record.  v2 loads
+``mmap`` the file, decode only the head, and hand the record section to a
+:class:`~repro.storage.lazy_store.LazyDocumentStore` that decodes trees on
+first access into a bounded LRU — cold start is near-constant in the number
+of *touched* documents and a host can serve corpora larger than RAM.
+
+Checksums are layered to match what each load actually reads: the trailing
+header checksum covers the fixed fields and name, the head checksum covers
+the eager head only, and every record carries its own crc32 (verified on each
+decode) — a lazy load must not read the whole file just to validate it.
 
 Integrity and staleness are rejected with typed errors, never a half-loaded
 corpus:
 
 * :class:`~repro.errors.SnapshotFormatError` — bad magic, unsupported format
-  version, truncation, CRC mismatch, trailing bytes, or a tokenizer
-  configuration different from the one the snapshot was built with (postings
-  bake in the tokenisation rules, so loading across a tokenizer change would
-  silently disagree with query-side tokenisation).
+  version, truncation (for v2, truncation inside the record section names the
+  first document whose record is cut), CRC mismatch, trailing bytes, or a
+  tokenizer configuration different from the one the snapshot was built with
+  (postings bake in the tokenisation rules, so loading across a tokenizer
+  change would silently disagree with query-side tokenisation).
 * :class:`~repro.errors.SnapshotVersionError` — the snapshot's recorded
   :attr:`Corpus.version` differs from the version the caller expects, i.e.
   the corpus was mutated after the snapshot was taken.
 
-Sharing mirrors a fresh build: each node posts **one** frozen
-:class:`~repro.storage.inverted_index.Posting` object shared across all its
-term buckets, and posting labels are the very
+Sharing mirrors a fresh build on the eager paths: each node posts **one**
+frozen :class:`~repro.storage.inverted_index.Posting` object shared across
+all its term buckets, and posting labels are the very
 :class:`~repro.xmlmodel.dewey.DeweyLabel` objects of the decoded tree nodes.
+On lazy loads posting labels come from the head's label tables instead —
+equal by value to the labels of any later-decoded tree (labels compare by
+components), which is all the search layer relies on.
 """
 
 from __future__ import annotations
 
 import gc
+import mmap
 import os
 import struct
 import sys
@@ -60,11 +86,17 @@ import zlib
 from array import array
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from types import MappingProxyType
+from typing import TYPE_CHECKING, BinaryIO, Dict, List, Optional, Tuple, Union
 
 from repro.errors import SnapshotError, SnapshotFormatError, SnapshotVersionError
 from repro.storage.document_store import DocumentStore
 from repro.storage.inverted_index import InvertedIndex, Posting
+from repro.storage.lazy_store import (
+    DEFAULT_MAX_MATERIALISED,
+    DocumentRecord,
+    LazyDocumentStore,
+)
 from repro.storage.statistics import CorpusStatistics, PathSummary
 from repro.storage.term_dictionary import TermDictionary
 from repro.storage.tokenizer import fingerprint as _tokenizer_fingerprint
@@ -76,27 +108,42 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "FORMAT_VERSION",
+    "FORMAT_VERSION_V1",
+    "FORMAT_VERSION_V2",
+    "DEFAULT_FORMAT",
     "SnapshotHeader",
     "read_snapshot_header",
     "save_corpus",
     "load_corpus",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION_V1 = 1
+FORMAT_VERSION_V2 = 2
+#: The format new saves produce unless told otherwise.
+DEFAULT_FORMAT = FORMAT_VERSION_V2
+#: The current (default) format version.
+FORMAT_VERSION = DEFAULT_FORMAT
 
 _MAGIC = b"XSACTSNAP\x00"
-# format version u16, corpus version u64, payload crc32 u32, payload length
-# u64, corpus name length u16; the variable-length name follows.
-_HEADER = struct.Struct("<HQIQH")
+# v1: format version u16, corpus version u64, payload crc32 u32, payload
+# length u64, corpus name length u16; the variable-length name follows.
+_HEADER_V1 = struct.Struct("<HQIQH")
+# v2 inserts the record-section length (u64) before the name length; the
+# checksum/length pair covers the eager head only.
+_HEADER_V2 = struct.Struct("<HQIQQH")
 
 # Node records open with one varint header.  Bit 0 is the node kind; for text
 # nodes the remaining bits carry the UTF-8 byte length (the whole record is
 # header + raw bytes), for elements bit 1 flags the presence of attributes and
 # the remaining bits carry the child-record count.  Packing kind, length and
 # count into a single varint keeps the per-node decode to the bare minimum of
-# byte reads — the tree section is the hot path of a cold start.
+# byte reads — tree decoding is the hot path of both eager cold starts and
+# lazy materialisation.
 _TEXT_BIT = 1
 _ATTRS_BIT = 2
+
+# Directory-entry flag bits (v2).
+_RECORD_ZLIB = 1
 
 
 @dataclass(frozen=True)
@@ -105,7 +152,10 @@ class SnapshotHeader:
 
     :func:`read_snapshot_header` returns this without touching the payload,
     so callers can check staleness (``corpus_version``) or identity (``name``)
-    before paying for a full load.
+    before paying for a full load.  For v1 files ``payload_length`` covers the
+    single eager payload and ``record_length`` is zero; for v2 files
+    ``payload_length`` is the eager head and ``record_length`` the lazy
+    record section that follows it.
     """
 
     format_version: int
@@ -113,6 +163,7 @@ class SnapshotHeader:
     checksum: int
     payload_length: int
     name: str
+    record_length: int = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -218,8 +269,9 @@ def _encode_tree(writer: _Writer, root: XMLNode) -> Dict[DeweyLabel, int]:
 
     The mapping numbers the *element* nodes in document order — the index
     section refers to posting nodes by this dense per-document index, which is
-    both smaller than a Dewey label and free to resolve at load time (the
-    decoder rebuilds the same list while materialising the tree).
+    both smaller than a Dewey label and free to resolve at load time (v1
+    rebuilds the same list while materialising the tree; v2 stores it as the
+    directory's label table).
     """
     label_index: Dict[DeweyLabel, int] = {}
     stack = [root]
@@ -253,9 +305,9 @@ def _decode_tree(reader: _Reader) -> Tuple[XMLNode, List[XMLNode]]:
     ``__new__`` with every slot assigned in place.  The constructor's
     validation is a per-node cost the decoder does not need: the writer only
     ever emits trees that satisfy the :class:`XMLNode` invariants, and any
-    byte-level damage is caught by the payload checksum before decoding
-    starts.  Bounds overruns surface as :class:`IndexError`/short slices and
-    are converted to typed errors here.
+    byte-level damage is caught by a checksum (payload for v1, per-record for
+    v2) before decoding starts.  Bounds overruns surface as
+    :class:`IndexError`/short slices and are converted to typed errors here.
     """
     data = reader.data
     limit = len(data)
@@ -377,46 +429,77 @@ def _decode_tree(reader: _Reader) -> Tuple[XMLNode, List[XMLNode]]:
     return root, elements
 
 
-# --------------------------------------------------------------------------- #
-# Save
-# --------------------------------------------------------------------------- #
-def save_corpus(corpus: "Corpus", path: Union[str, Path]) -> Path:
-    """Write ``corpus`` as one binary snapshot file at ``path``.
+def _decode_record(data, record: DocumentRecord, base: int = 0) -> Tuple[XMLNode, List[XMLNode]]:
+    """Decode one v2 record from ``data`` (bytes or mmap) at ``base`` offset.
 
-    The index is finalized first (snapshots always store ordered posting
-    lists plus their offset maps), the file is written atomically via a
-    temporary sibling, and the returned path is the final location.
+    Verifies the record's own crc32 before decoding — on lazy loads this is
+    the only integrity check the record ever gets, and it runs on the exact
+    bytes about to be trusted by the fast-path tree decoder.
     """
-    corpus.index.finalize()
-    writer = _Writer()
-    writer.varint(_tokenizer_fingerprint())
+    start = base + record.offset
+    stored = bytes(data[start:start + record.stored_length])
+    if len(stored) != record.stored_length:
+        raise SnapshotFormatError(
+            f"truncated snapshot: document {record.doc_id!r} record runs past end of file"
+        )
+    if zlib.crc32(stored) != record.checksum:
+        raise SnapshotFormatError(
+            f"corrupt snapshot: checksum mismatch in document {record.doc_id!r} record"
+        )
+    if record.compressed:
+        try:
+            raw = zlib.decompress(stored)
+        except zlib.error as exc:
+            raise SnapshotFormatError(
+                f"corrupt snapshot: document {record.doc_id!r} record fails to inflate ({exc})"
+            ) from None
+    else:
+        raw = stored
+    if len(raw) != record.raw_length:
+        raise SnapshotFormatError(
+            f"corrupt snapshot: document {record.doc_id!r} record inflates to "
+            f"{len(raw)} bytes, directory promises {record.raw_length}"
+        )
+    reader = _Reader(raw)
+    root, elements = _decode_tree(reader)
+    if not reader.at_end() or len(elements) != record.element_count:
+        raise SnapshotFormatError(
+            f"malformed snapshot: document {record.doc_id!r} record does not decode cleanly"
+        )
+    return root, elements
 
-    # Section 1: term dictionary (id of the i-th term is i).
-    terms = list(corpus.dictionary)
+
+# --------------------------------------------------------------------------- #
+# Shared sections (dictionary, index, statistics)
+# --------------------------------------------------------------------------- #
+def _write_dictionary(writer: _Writer, dictionary: TermDictionary) -> None:
+    """Term dictionary section (id of the i-th term is i)."""
+    terms = list(dictionary)
     writer.varint(len(terms))
     for term in terms:
         writer.string(term)
 
-    # Section 2: document store.
-    doc_ids = corpus.store.document_ids()
-    doc_refs = {doc_id: position for position, doc_id in enumerate(doc_ids)}
-    label_indices: Dict[str, Dict[DeweyLabel, int]] = {}
-    writer.varint(len(doc_ids))
-    for document in corpus.store:
-        writer.string(document.doc_id)
-        writer.varint(len(document.metadata))
-        for key, value in document.metadata.items():
-            writer.string(key)
-            writer.string(value)
-        label_indices[document.doc_id] = _encode_tree(writer, document.root)
 
-    # Section 3: inverted index.  Three flat u32 tables: per-term metadata
-    # (term id, run count), per-run metadata (document ref, posting count) and
-    # the posting element indices themselves — bucket order is preserved, so
-    # the loader rebuilds identical posting lists and offset maps without a
-    # single comparison.
-    postings_map = corpus.index._postings
-    ranges_map = corpus.index._doc_ranges
+def _read_dictionary(reader: _Reader) -> TermDictionary:
+    term_count = reader.varint()
+    return TermDictionary._restore(reader.string() for _ in range(term_count))
+
+
+def _write_index(
+    writer: _Writer,
+    index: InvertedIndex,
+    doc_refs: Dict[str, int],
+    label_indices: Dict[str, Dict[DeweyLabel, int]],
+) -> None:
+    """Inverted-index section: three flat u32 tables.
+
+    Per-term metadata (term id, run count), per-run metadata (document ref,
+    posting count) and the posting element indices themselves — bucket order
+    is preserved, so the loader rebuilds identical posting lists and offset
+    maps without a single comparison.
+    """
+    postings_map = index._postings
+    ranges_map = index._doc_ranges
     term_meta: List[int] = []
     run_meta: List[int] = []
     element_refs: List[int] = []
@@ -434,10 +517,82 @@ def save_corpus(corpus: "Corpus", path: Union[str, Path]) -> Path:
     writer.u32_array(run_meta)
     writer.u32_array(element_refs)
 
-    # Section 4: statistics.  Paths are stored against a local tag table;
-    # max_siblings and distinct_values are derived on load from the exact
-    # sibling-run and value-occurrence bookkeeping, as in a fresh build.
-    statistics = corpus.statistics
+
+def _read_index(
+    reader: _Reader,
+    dictionary: TermDictionary,
+    doc_ids: List[str],
+    doc_labels: Dict[str, List[DeweyLabel]],
+) -> InvertedIndex:
+    """Rebuild the inverted index against per-document pre-order label lists.
+
+    ``doc_labels`` comes from decoded tree elements on eager loads (posting
+    labels then *are* the tree's label objects, as after a fresh build) and
+    from the head's label tables on lazy loads (equal by value to any
+    later-decoded tree's labels).
+    """
+    bucket_count = reader.varint()
+    term_meta = reader.u32_array()
+    run_meta = reader.u32_array()
+    element_refs = reader.u32_array()
+    if len(term_meta) != 2 * bucket_count or len(run_meta) % 2:
+        raise SnapshotFormatError("malformed snapshot: index table sizes disagree")
+    postings_map: Dict[int, List[Posting]] = {}
+    ranges_map: Dict[int, Dict[str, Tuple[int, int]]] = {}
+    document_frequency: Dict[int, int] = {}
+    doc_term_lists: Dict[str, List[int]] = {doc_id: [] for doc_id in doc_ids}
+    # One shared Posting per (document, element) across every bucket it
+    # appears in, mirroring add_document's per-node sharing.
+    posting_cache: Dict[str, List[Optional[Posting]]] = {
+        doc_id: [None] * len(labels) for doc_id, labels in doc_labels.items()
+    }
+    run_cursor = 0
+    element_cursor = 0
+    try:
+        for meta_cursor in range(0, len(term_meta), 2):
+            term_id = term_meta[meta_cursor]
+            run_count = term_meta[meta_cursor + 1]
+            bucket: List[Posting] = []
+            ranges: Dict[str, Tuple[int, int]] = {}
+            for _ in range(run_count):
+                doc_id = doc_ids[run_meta[run_cursor]]
+                posting_count = run_meta[run_cursor + 1]
+                run_cursor += 2
+                cache = posting_cache[doc_id]
+                labels = doc_labels[doc_id]
+                start = len(bucket)
+                for ref in element_refs[element_cursor:element_cursor + posting_count]:
+                    posting = cache[ref]
+                    if posting is None:
+                        posting = cache[ref] = Posting(doc_id=doc_id, label=labels[ref])
+                    bucket.append(posting)
+                element_cursor += posting_count
+                ranges[doc_id] = (start, len(bucket))
+                doc_term_lists[doc_id].append(term_id)
+            postings_map[term_id] = bucket
+            ranges_map[term_id] = ranges
+            document_frequency[term_id] = run_count
+    except IndexError:
+        raise SnapshotFormatError("malformed snapshot: index refers to unknown documents or nodes") from None
+    if run_cursor != len(run_meta) or element_cursor != len(element_refs):
+        raise SnapshotFormatError("malformed snapshot: index tables have unread entries")
+    doc_terms = {doc_id: tuple(sorted(terms)) for doc_id, terms in doc_term_lists.items()}
+    return InvertedIndex._restore(
+        dictionary,
+        postings=postings_map,
+        doc_ranges=ranges_map,
+        document_frequency=document_frequency,
+        doc_terms=doc_terms,
+    )
+
+
+def _write_statistics(writer: _Writer, statistics: CorpusStatistics) -> None:
+    """Statistics section.
+
+    Paths are stored against a local tag table; max_siblings and
+    distinct_values are derived on load from the exact sibling-run and
+    value-occurrence bookkeeping, as in a fresh build.
+    """
     tag_refs: Dict[str, int] = {}
     for summary_path in statistics._paths:
         for tag in summary_path:
@@ -471,244 +626,8 @@ def save_corpus(corpus: "Corpus", path: Union[str, Path]) -> Path:
     writer.varint(statistics._document_count)
     writer.varint(statistics._total_elements)
 
-    payload = writer.getvalue()
-    name_bytes = corpus.name.encode("utf-8")
-    header = _MAGIC + _HEADER.pack(
-        FORMAT_VERSION, corpus.version, zlib.crc32(payload), len(payload), len(name_bytes)
-    ) + name_bytes
-    header += struct.pack("<I", zlib.crc32(header))
 
-    # Atomic, concurrency-safe write: a uniquely named temporary in the target
-    # directory (so os.replace stays a same-filesystem rename), removed on any
-    # failure so aborted saves leave nothing behind.  File-system errors
-    # surface as typed snapshot errors like on the read side.
-    target = Path(path)
-    try:
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=target.parent, prefix=target.name + ".", suffix=".tmp", delete=False
-        )
-    except OSError as exc:
-        raise SnapshotError(f"cannot write snapshot {target}: {exc}") from exc
-    temporary = Path(handle.name)
-    try:
-        with handle:
-            handle.write(header)
-            handle.write(payload)
-        os.replace(temporary, target)
-    except OSError as exc:
-        try:
-            os.unlink(temporary)
-        except OSError:
-            pass
-        raise SnapshotError(f"cannot write snapshot {target}: {exc}") from exc
-    return target
-
-
-# --------------------------------------------------------------------------- #
-# Load
-# --------------------------------------------------------------------------- #
-def _parse_header(data: bytes) -> Tuple[SnapshotHeader, int]:
-    """Decode the header; returns it plus the payload's byte offset."""
-    fixed_size = len(_MAGIC) + _HEADER.size
-    if len(data) < fixed_size:
-        raise SnapshotFormatError(
-            f"truncated snapshot: {len(data)} bytes is shorter than the {fixed_size}-byte header"
-        )
-    if data[: len(_MAGIC)] != _MAGIC:
-        raise SnapshotFormatError("not a corpus snapshot (bad magic bytes)")
-    format_version, corpus_version, checksum, payload_length, name_length = _HEADER.unpack_from(
-        data, len(_MAGIC)
-    )
-    if format_version != FORMAT_VERSION:
-        raise SnapshotFormatError(
-            f"unsupported snapshot format version {format_version} (this build reads version {FORMAT_VERSION})"
-        )
-    checksum_offset = fixed_size + name_length
-    payload_offset = checksum_offset + 4
-    if len(data) < payload_offset:
-        raise SnapshotFormatError("truncated snapshot: header runs past end of file")
-    (header_checksum,) = struct.unpack_from("<I", data, checksum_offset)
-    if zlib.crc32(data[:checksum_offset]) != header_checksum:
-        raise SnapshotFormatError("corrupt snapshot: header checksum mismatch")
-    try:
-        name = data[fixed_size:checksum_offset].decode("utf-8")
-    except UnicodeDecodeError as exc:
-        raise SnapshotFormatError(f"malformed snapshot: corpus name is not UTF-8 ({exc})") from None
-    header = SnapshotHeader(
-        format_version=format_version,
-        corpus_version=corpus_version,
-        checksum=checksum,
-        payload_length=payload_length,
-        name=name,
-    )
-    return header, payload_offset
-
-
-def read_snapshot_header(path: Union[str, Path]) -> SnapshotHeader:
-    """Read and validate only the snapshot header (cheap staleness checks)."""
-    fixed_size = len(_MAGIC) + _HEADER.size
-    try:
-        with open(Path(path), "rb") as handle:
-            # Longest possible header: fixed part + 0xFFFF name bytes + crc.
-            data = handle.read(fixed_size + 0xFFFF + 4)
-    except OSError as exc:
-        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
-    header, _ = _parse_header(data)
-    return header
-
-
-def load_corpus(
-    path: Union[str, Path], *, expected_version: Optional[int] = None
-) -> "Corpus":
-    """Reconstruct a :class:`Corpus` from a snapshot file.
-
-    One sequential read, zero tokenisation: the term dictionary, document
-    trees, posting lists (with per-document offset maps and document
-    frequencies) and statistics tables are materialised directly from the
-    payload.  The loaded corpus is indistinguishable from a fresh build over
-    the same documents — same postings, frequencies, path summaries and
-    ranked query results — and carries the saved :attr:`Corpus.version`.
-
-    Parameters
-    ----------
-    path:
-        Snapshot file written by :func:`save_corpus`.
-    expected_version:
-        When given, the snapshot's recorded corpus version must match it;
-        a mismatch raises :class:`~repro.errors.SnapshotVersionError` before
-        any decoding work.
-
-    Raises
-    ------
-    SnapshotFormatError
-        If the file is not a snapshot, has an unsupported format version, is
-        truncated or corrupt, or was built under a different tokenizer
-        configuration.
-    SnapshotVersionError
-        If ``expected_version`` is given and does not match.
-    """
-    try:
-        data = Path(path).read_bytes()
-    except OSError as exc:
-        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
-    header, payload_offset = _parse_header(data)
-    if expected_version is not None and header.corpus_version != expected_version:
-        raise SnapshotVersionError(
-            f"snapshot records corpus version {header.corpus_version}, "
-            f"expected {expected_version}: the corpus was mutated after this snapshot was taken"
-        )
-    payload = data[payload_offset:payload_offset + header.payload_length]
-    if len(payload) < header.payload_length:
-        raise SnapshotFormatError(
-            f"truncated snapshot: payload is {len(payload)} bytes, header promises {header.payload_length}"
-        )
-    if len(data) > payload_offset + header.payload_length:
-        raise SnapshotFormatError("malformed snapshot: trailing bytes after payload")
-    if zlib.crc32(payload) != header.checksum:
-        raise SnapshotFormatError("corrupt snapshot: payload checksum mismatch")
-
-    reader = _Reader(payload)
-    fingerprint = reader.varint()
-    if fingerprint != _tokenizer_fingerprint():
-        raise SnapshotFormatError(
-            "stale snapshot: it was built with a different tokenizer configuration"
-        )
-
-    # Decoding allocates hundreds of thousands of objects in cyclic graphs
-    # (tree nodes point at parents and children), which makes the generational
-    # collector fire repeatedly over an ever-growing, all-live heap — ~35% of
-    # load wall time for nothing collectable.  Pause it for the bulk
-    # allocation burst; the ``finally`` restores the caller's setting even on
-    # a malformed snapshot.
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        return _decode_payload(reader, header)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-
-
-def _decode_payload(reader: _Reader, header: SnapshotHeader) -> "Corpus":
-    """Decode the four payload sections into a ready corpus."""
-    from repro.storage.corpus import Corpus
-
-    # Section 1: term dictionary.
-    term_count = reader.varint()
-    dictionary = TermDictionary._restore(reader.string() for _ in range(term_count))
-
-    # Section 2: document store.
-    store = DocumentStore()
-    document_count = reader.varint()
-    doc_ids: List[str] = []
-    doc_elements: Dict[str, List[XMLNode]] = {}
-    for _ in range(document_count):
-        doc_id = reader.string()
-        metadata: Dict[str, str] = {}
-        for _ in range(reader.varint()):
-            key = reader.string()
-            metadata[key] = reader.string()
-        root, elements = _decode_tree(reader)
-        store.add(doc_id, root, metadata=metadata)
-        doc_ids.append(doc_id)
-        doc_elements[doc_id] = elements
-
-    # Section 3: inverted index.
-    bucket_count = reader.varint()
-    term_meta = reader.u32_array()
-    run_meta = reader.u32_array()
-    element_refs = reader.u32_array()
-    if len(term_meta) != 2 * bucket_count or len(run_meta) % 2:
-        raise SnapshotFormatError("malformed snapshot: index table sizes disagree")
-    postings_map: Dict[int, List[Posting]] = {}
-    ranges_map: Dict[int, Dict[str, Tuple[int, int]]] = {}
-    document_frequency: Dict[int, int] = {}
-    doc_term_lists: Dict[str, List[int]] = {doc_id: [] for doc_id in doc_ids}
-    # One shared Posting per (document, element) across every bucket it
-    # appears in, mirroring add_document's per-node sharing.
-    posting_cache: Dict[str, List[Optional[Posting]]] = {
-        doc_id: [None] * len(elements) for doc_id, elements in doc_elements.items()
-    }
-    run_cursor = 0
-    element_cursor = 0
-    try:
-        for meta_cursor in range(0, len(term_meta), 2):
-            term_id = term_meta[meta_cursor]
-            run_count = term_meta[meta_cursor + 1]
-            bucket: List[Posting] = []
-            ranges: Dict[str, Tuple[int, int]] = {}
-            for _ in range(run_count):
-                doc_id = doc_ids[run_meta[run_cursor]]
-                posting_count = run_meta[run_cursor + 1]
-                run_cursor += 2
-                cache = posting_cache[doc_id]
-                elements = doc_elements[doc_id]
-                start = len(bucket)
-                for ref in element_refs[element_cursor:element_cursor + posting_count]:
-                    posting = cache[ref]
-                    if posting is None:
-                        posting = cache[ref] = Posting(doc_id=doc_id, label=elements[ref].label)
-                    bucket.append(posting)
-                element_cursor += posting_count
-                ranges[doc_id] = (start, len(bucket))
-                doc_term_lists[doc_id].append(term_id)
-            postings_map[term_id] = bucket
-            ranges_map[term_id] = ranges
-            document_frequency[term_id] = run_count
-    except IndexError:
-        raise SnapshotFormatError("malformed snapshot: index refers to unknown documents or nodes") from None
-    if run_cursor != len(run_meta) or element_cursor != len(element_refs):
-        raise SnapshotFormatError("malformed snapshot: index tables have unread entries")
-    doc_terms = {doc_id: tuple(sorted(terms)) for doc_id, terms in doc_term_lists.items()}
-    index = InvertedIndex._restore(
-        dictionary,
-        postings=postings_map,
-        doc_ranges=ranges_map,
-        document_frequency=document_frequency,
-        doc_terms=doc_terms,
-    )
-
-    # Section 4: statistics.
+def _read_statistics(reader: _Reader, dictionary: TermDictionary) -> CorpusStatistics:
     tag_table = [reader.string() for _ in range(reader.varint())]
     paths: Dict[Tuple[str, ...], PathSummary] = {}
     path_values: Dict[Tuple[str, ...], Dict[str, int]] = {}
@@ -743,7 +662,7 @@ def _decode_payload(reader: _Reader, header: SnapshotHeader) -> "Corpus":
         term_document_frequency[term_id] = reader.varint()
     stats_document_count = reader.varint()
     total_elements = reader.varint()
-    statistics = CorpusStatistics._restore(
+    return CorpusStatistics._restore(
         dictionary,
         paths=paths,
         path_values=path_values,
@@ -753,9 +672,493 @@ def _decode_payload(reader: _Reader, header: SnapshotHeader) -> "Corpus":
         total_elements=total_elements,
     )
 
+
+# --------------------------------------------------------------------------- #
+# v2 document directory
+# --------------------------------------------------------------------------- #
+def _read_directory_entry(reader: _Reader) -> Tuple[DocumentRecord, List[DeweyLabel]]:
+    """Decode one v2 directory entry plus its label table.
+
+    The label table stores each element's Dewey label delta-encoded against
+    pre-order: a varint depth plus the label's last component.  Pre-order
+    guarantees the previous element's components are a superset-prefix of the
+    parent path, so ``prev[:depth-1] + (last,)`` reconstructs every label with
+    two varints per element instead of re-serialising whole component tuples.
+    """
+    doc_id = reader.string()
+    metadata: Dict[str, str] = {}
+    for _ in range(reader.varint()):
+        key = reader.string()
+        metadata[key] = reader.string()
+    flags = reader.varint()
+    if flags & ~_RECORD_ZLIB:
+        raise SnapshotFormatError(
+            f"malformed snapshot: document {doc_id!r} directory entry has unknown flags {flags:#x}"
+        )
+    offset = reader.varint()
+    stored_length = reader.varint()
+    raw_length = reader.varint()
+    checksum = reader.varint()
+    element_count = reader.varint()
+    labels: List[DeweyLabel] = []
+    label_new = DeweyLabel.__new__
+    prev: Tuple[int, ...] = ()
+    for _ in range(element_count):
+        depth = reader.varint()
+        if depth == 0:
+            components: Tuple[int, ...] = ()
+        else:
+            if depth > len(prev) + 1:
+                raise SnapshotFormatError(
+                    f"malformed snapshot: label table of document {doc_id!r} jumps past its parent"
+                )
+            components = prev[:depth - 1] + (reader.varint(),)
+        label = label_new(DeweyLabel)
+        label._components = components
+        labels.append(label)
+        prev = components
+    record = DocumentRecord(
+        doc_id=doc_id,
+        offset=offset,
+        stored_length=stored_length,
+        raw_length=raw_length,
+        checksum=checksum,
+        compressed=bool(flags & _RECORD_ZLIB),
+        element_count=element_count,
+        metadata=MappingProxyType(metadata),
+    )
+    return record, labels
+
+
+def _record_truncation_error(head: bytes, header: SnapshotHeader, available: int) -> SnapshotFormatError:
+    """Name the first document whose record a truncated file cuts off.
+
+    Only called when the file ends inside the record section, so the head is
+    complete; it is re-validated and its directory walked to find the record
+    whose extent runs past the bytes actually present.
+    """
+    if zlib.crc32(head) != header.checksum:
+        return SnapshotFormatError(
+            "truncated snapshot: record section is short and the head checksum mismatches"
+        )
+    try:
+        reader = _Reader(head)
+        reader.varint()  # tokenizer fingerprint
+        for _ in range(reader.varint()):  # term dictionary
+            reader.string()
+        for _ in range(reader.varint()):
+            record, _ = _read_directory_entry(reader)
+            if record.offset + record.stored_length > available:
+                return SnapshotFormatError(
+                    f"truncated snapshot: record section holds {available} bytes but "
+                    f"document {record.doc_id!r} record spans bytes "
+                    f"{record.offset}..{record.offset + record.stored_length}"
+                )
+    except SnapshotError as exc:
+        return SnapshotFormatError(f"truncated snapshot: record section is short ({exc})")
+    return SnapshotFormatError(
+        "truncated snapshot: record section is shorter than the header promises"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Save
+# --------------------------------------------------------------------------- #
+def save_corpus(
+    corpus: "Corpus",
+    path: Union[str, Path],
+    *,
+    format: Optional[int] = None,
+    compress: bool = False,
+) -> Path:
+    """Write ``corpus`` as one binary snapshot file at ``path``.
+
+    The index is finalized first (snapshots always store ordered posting
+    lists plus their offset maps), the file is written atomically via a
+    temporary sibling, and the returned path is the final location.
+
+    Parameters
+    ----------
+    format:
+        Snapshot format version: ``2`` (default) writes the eager-head +
+        lazy-record layout, ``1`` the legacy single-payload layout.
+    compress:
+        v2 only — zlib-deflate each document record individually, keeping a
+        record uncompressed when deflation does not shrink it.  Per-record
+        compression preserves random access, trading decode CPU for file
+        size.
+    """
+    chosen = DEFAULT_FORMAT if format is None else format
+    if chosen not in (FORMAT_VERSION_V1, FORMAT_VERSION_V2):
+        raise SnapshotError(
+            f"unsupported snapshot format version {chosen} (this build writes versions "
+            f"{FORMAT_VERSION_V1} and {FORMAT_VERSION_V2})"
+        )
+    if compress and chosen == FORMAT_VERSION_V1:
+        raise SnapshotError("per-record compression requires snapshot format v2")
+    corpus.index.finalize()
+    name_bytes = corpus.name.encode("utf-8")
+    if chosen == FORMAT_VERSION_V1:
+        payload = _build_payload_v1(corpus)
+        records = b""
+        header = _MAGIC + _HEADER_V1.pack(
+            FORMAT_VERSION_V1, corpus.version, zlib.crc32(payload), len(payload), len(name_bytes)
+        ) + name_bytes
+    else:
+        payload, records = _build_payload_v2(corpus, compress=compress)
+        header = _MAGIC + _HEADER_V2.pack(
+            FORMAT_VERSION_V2,
+            corpus.version,
+            zlib.crc32(payload),
+            len(payload),
+            len(records),
+            len(name_bytes),
+        ) + name_bytes
+    header += struct.pack("<I", zlib.crc32(header))
+
+    # Atomic, concurrency-safe write: a uniquely named temporary in the target
+    # directory (so os.replace stays a same-filesystem rename), removed on any
+    # failure so aborted saves leave nothing behind.  File-system errors
+    # surface as typed snapshot errors like on the read side.
+    target = Path(path)
+    try:
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=target.parent, prefix=target.name + ".", suffix=".tmp", delete=False
+        )
+    except OSError as exc:
+        raise SnapshotError(f"cannot write snapshot {target}: {exc}") from exc
+    temporary = Path(handle.name)
+    try:
+        with handle:
+            handle.write(header)
+            handle.write(payload)
+            if records:
+                handle.write(records)
+        os.replace(temporary, target)
+    except OSError as exc:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise SnapshotError(f"cannot write snapshot {target}: {exc}") from exc
+    return target
+
+
+def _build_payload_v1(corpus: "Corpus") -> bytes:
+    """The legacy single payload: trees inline with the rest of the sections."""
+    writer = _Writer()
+    writer.varint(_tokenizer_fingerprint())
+    _write_dictionary(writer, corpus.dictionary)
+
+    doc_ids = corpus.store.document_ids()
+    doc_refs = {doc_id: position for position, doc_id in enumerate(doc_ids)}
+    label_indices: Dict[str, Dict[DeweyLabel, int]] = {}
+    writer.varint(len(doc_ids))
+    for document in corpus.store:
+        writer.string(document.doc_id)
+        writer.varint(len(document.metadata))
+        for key, value in document.metadata.items():
+            writer.string(key)
+            writer.string(value)
+        label_indices[document.doc_id] = _encode_tree(writer, document.root)
+
+    _write_index(writer, corpus.index, doc_refs, label_indices)
+    _write_statistics(writer, corpus.statistics)
+    return writer.getvalue()
+
+
+def _build_payload_v2(corpus: "Corpus", *, compress: bool) -> Tuple[bytes, bytes]:
+    """The v2 eager head plus the offset-addressed record section.
+
+    Iterating the store decodes lazily-backed documents transiently, so
+    re-saving a lazy corpus streams record-by-record instead of materialising
+    everything at once.
+    """
+    writer = _Writer()
+    writer.varint(_tokenizer_fingerprint())
+    _write_dictionary(writer, corpus.dictionary)
+
+    doc_ids = corpus.store.document_ids()
+    doc_refs = {doc_id: position for position, doc_id in enumerate(doc_ids)}
+    label_indices: Dict[str, Dict[DeweyLabel, int]] = {}
+    records = bytearray()
+    writer.varint(len(doc_ids))
+    for document in corpus.store:
+        tree_writer = _Writer()
+        label_index = _encode_tree(tree_writer, document.root)
+        raw = tree_writer.getvalue()
+        stored = raw
+        flags = 0
+        if compress:
+            deflated = zlib.compress(raw, 6)
+            if len(deflated) < len(raw):
+                stored = deflated
+                flags = _RECORD_ZLIB
+        writer.string(document.doc_id)
+        writer.varint(len(document.metadata))
+        for key, value in document.metadata.items():
+            writer.string(key)
+            writer.string(value)
+        writer.varint(flags)
+        writer.varint(len(records))
+        writer.varint(len(stored))
+        writer.varint(len(raw))
+        writer.varint(zlib.crc32(stored))
+        writer.varint(len(label_index))
+        for label in label_index:
+            components = label._components
+            writer.varint(len(components))
+            if components:
+                writer.varint(components[-1])
+        records += stored
+        label_indices[document.doc_id] = label_index
+
+    _write_index(writer, corpus.index, doc_refs, label_indices)
+    _write_statistics(writer, corpus.statistics)
+    return writer.getvalue(), bytes(records)
+
+
+# --------------------------------------------------------------------------- #
+# Load
+# --------------------------------------------------------------------------- #
+def _parse_header(data: bytes) -> Tuple[SnapshotHeader, int]:
+    """Decode the header; returns it plus the payload's byte offset."""
+    magic_size = len(_MAGIC)
+    if len(data) < magic_size + 2:
+        raise SnapshotFormatError(
+            f"truncated snapshot: {len(data)} bytes is shorter than the smallest header"
+        )
+    if data[:magic_size] != _MAGIC:
+        raise SnapshotFormatError("not a corpus snapshot (bad magic bytes)")
+    (format_version,) = struct.unpack_from("<H", data, magic_size)
+    if format_version == FORMAT_VERSION_V1:
+        header_struct = _HEADER_V1
+    elif format_version == FORMAT_VERSION_V2:
+        header_struct = _HEADER_V2
+    else:
+        raise SnapshotFormatError(
+            f"unsupported snapshot format version {format_version} (this build reads versions "
+            f"{FORMAT_VERSION_V1} and {FORMAT_VERSION_V2})"
+        )
+    fixed_size = magic_size + header_struct.size
+    if len(data) < fixed_size:
+        raise SnapshotFormatError(
+            f"truncated snapshot: {len(data)} bytes is shorter than the {fixed_size}-byte header"
+        )
+    if format_version == FORMAT_VERSION_V1:
+        _, corpus_version, checksum, payload_length, name_length = header_struct.unpack_from(
+            data, magic_size
+        )
+        record_length = 0
+    else:
+        (
+            _,
+            corpus_version,
+            checksum,
+            payload_length,
+            record_length,
+            name_length,
+        ) = header_struct.unpack_from(data, magic_size)
+    checksum_offset = fixed_size + name_length
+    payload_offset = checksum_offset + 4
+    if len(data) < payload_offset:
+        raise SnapshotFormatError("truncated snapshot: header runs past end of file")
+    (header_checksum,) = struct.unpack_from("<I", data, checksum_offset)
+    if zlib.crc32(data[:checksum_offset]) != header_checksum:
+        raise SnapshotFormatError("corrupt snapshot: header checksum mismatch")
+    try:
+        name = data[fixed_size:checksum_offset].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SnapshotFormatError(f"malformed snapshot: corpus name is not UTF-8 ({exc})") from None
+    header = SnapshotHeader(
+        format_version=format_version,
+        corpus_version=corpus_version,
+        checksum=checksum,
+        payload_length=payload_length,
+        name=name,
+        record_length=record_length,
+    )
+    return header, payload_offset
+
+
+# Longest possible header: v2 fixed part + 0xFFFF name bytes + trailing crc.
+_HEADER_PEEK = len(_MAGIC) + _HEADER_V2.size + 0xFFFF + 4
+
+
+def read_snapshot_header(path: Union[str, Path]) -> SnapshotHeader:
+    """Read and validate only the snapshot header (cheap staleness checks).
+
+    For v2 files the promised extents are additionally checked against the
+    file size — a file truncated inside the record section is rejected here,
+    naming the first document whose record is cut, instead of surfacing as a
+    decode failure on some later lazy access.
+    """
+    try:
+        with open(Path(path), "rb") as handle:
+            data = handle.read(_HEADER_PEEK)
+            file_size = os.fstat(handle.fileno()).st_size
+            header, payload_offset = _parse_header(data)
+            if header.format_version == FORMAT_VERSION_V2:
+                _check_extents_v2(handle, header, payload_offset, file_size)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    return header
+
+
+def _check_extents_v2(
+    handle: BinaryIO, header: SnapshotHeader, payload_offset: int, file_size: int
+) -> None:
+    """Reject a v2 file whose size disagrees with the header's extents."""
+    head_end = payload_offset + header.payload_length
+    expected = head_end + header.record_length
+    if file_size < head_end:
+        raise SnapshotFormatError(
+            f"truncated snapshot: eager head ends at byte {head_end}, file has {file_size}"
+        )
+    if file_size > expected:
+        raise SnapshotFormatError("malformed snapshot: trailing bytes after record section")
+    if file_size < expected:
+        handle.seek(payload_offset)
+        head = handle.read(header.payload_length)
+        raise _record_truncation_error(head, header, available=file_size - head_end)
+
+
+def load_corpus(
+    path: Union[str, Path],
+    *,
+    expected_version: Optional[int] = None,
+    eager: Optional[bool] = None,
+    max_materialised: Optional[int] = None,
+) -> "Corpus":
+    """Reconstruct a :class:`Corpus` from a snapshot file.
+
+    The loaded corpus answers every query exactly like a fresh build over the
+    same documents — same postings, frequencies, path summaries and ranked
+    results — and carries the saved :attr:`Corpus.version`.  What differs is
+    *residency*: a v1 snapshot (or ``eager=True``) materialises every document
+    tree up front, while a v2 snapshot by default keeps trees in the
+    ``mmap``-ed record section and decodes them on first access into a bounded
+    LRU (:class:`~repro.storage.lazy_store.LazyDocumentStore`), so cold start
+    reads only the eager head.
+
+    Parameters
+    ----------
+    path:
+        Snapshot file written by :func:`save_corpus`.
+    expected_version:
+        When given, the snapshot's recorded corpus version must match it;
+        a mismatch raises :class:`~repro.errors.SnapshotVersionError` before
+        any decoding work.
+    eager:
+        ``None`` (default) — eager for v1, lazy for v2.  ``True`` forces full
+        materialisation of a v2 snapshot (the v1 memory profile with the v2
+        file layout).  ``False`` demands lazy loading and is a
+        :class:`~repro.errors.SnapshotFormatError` on a v1 file, which has no
+        record section to defer to.
+    max_materialised:
+        LRU bound for lazy loads (ignored otherwise): ``None`` picks the
+        default (:data:`~repro.storage.lazy_store.DEFAULT_MAX_MATERIALISED`),
+        ``0`` disables eviction entirely.
+
+    Raises
+    ------
+    SnapshotFormatError
+        If the file is not a snapshot, has an unsupported format version, is
+        truncated (naming the cut record when the cut lands in a v2 record
+        section) or corrupt, or was built under a different tokenizer
+        configuration.
+    SnapshotVersionError
+        If ``expected_version`` is given and does not match.
+    """
+    target = Path(path)
+    try:
+        handle = open(target, "rb")
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        try:
+            prefix = handle.read(_HEADER_PEEK)
+            file_size = os.fstat(handle.fileno()).st_size
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        header, payload_offset = _parse_header(prefix)
+        if expected_version is not None and header.corpus_version != expected_version:
+            raise SnapshotVersionError(
+                f"snapshot records corpus version {header.corpus_version}, "
+                f"expected {expected_version}: the corpus was mutated after this snapshot was taken"
+            )
+        # Decoding allocates hundreds of thousands of objects in cyclic graphs
+        # (tree nodes point at parents and children), which makes the
+        # generational collector fire repeatedly over an ever-growing,
+        # all-live heap — ~35% of load wall time for nothing collectable.
+        # Pause it for the bulk allocation burst; the ``finally`` restores the
+        # caller's setting even on a malformed snapshot.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            if header.format_version == FORMAT_VERSION_V1:
+                if eager is False:
+                    raise SnapshotFormatError(
+                        "format v1 snapshots have no record section: lazy loading "
+                        "requires a v2 snapshot (re-save with format=2)"
+                    )
+                handle.seek(0)
+                try:
+                    data = handle.read()
+                except OSError as exc:
+                    raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+                return _load_v1(data, header, payload_offset)
+            return _load_v2(
+                handle,
+                header,
+                payload_offset,
+                file_size,
+                eager=bool(eager),
+                max_materialised=max_materialised,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        handle.close()
+
+
+def _load_v1(data: bytes, header: SnapshotHeader, payload_offset: int) -> "Corpus":
+    """Decode a legacy single-payload snapshot into a fully eager corpus."""
+    from repro.storage.corpus import Corpus
+
+    payload = data[payload_offset:payload_offset + header.payload_length]
+    if len(payload) < header.payload_length:
+        raise SnapshotFormatError(
+            f"truncated snapshot: payload is {len(payload)} bytes, header promises {header.payload_length}"
+        )
+    if len(data) > payload_offset + header.payload_length:
+        raise SnapshotFormatError("malformed snapshot: trailing bytes after payload")
+    if zlib.crc32(payload) != header.checksum:
+        raise SnapshotFormatError("corrupt snapshot: payload checksum mismatch")
+
+    reader = _Reader(payload)
+    _check_fingerprint(reader)
+    dictionary = _read_dictionary(reader)
+
+    store = DocumentStore()
+    doc_ids: List[str] = []
+    doc_labels: Dict[str, List[DeweyLabel]] = {}
+    for _ in range(reader.varint()):
+        doc_id = reader.string()
+        metadata: Dict[str, str] = {}
+        for _ in range(reader.varint()):
+            key = reader.string()
+            metadata[key] = reader.string()
+        root, elements = _decode_tree(reader)
+        store.add(doc_id, root, metadata=metadata)
+        doc_ids.append(doc_id)
+        doc_labels[doc_id] = [element.label for element in elements]
+
+    index = _read_index(reader, dictionary, doc_ids, doc_labels)
+    statistics = _read_statistics(reader, dictionary)
     if not reader.at_end():
         raise SnapshotFormatError("malformed snapshot: trailing bytes inside payload")
-
     return Corpus._restore(
         store=store,
         dictionary=dictionary,
@@ -764,3 +1167,125 @@ def _decode_payload(reader: _Reader, header: SnapshotHeader) -> "Corpus":
         name=header.name,
         version=header.corpus_version,
     )
+
+
+def _load_v2(
+    handle: BinaryIO,
+    header: SnapshotHeader,
+    payload_offset: int,
+    file_size: int,
+    *,
+    eager: bool,
+    max_materialised: Optional[int],
+) -> "Corpus":
+    """Decode a v2 head and wire the record section to the chosen backend."""
+    from repro.storage.corpus import Corpus
+
+    head_end = payload_offset + header.payload_length
+    expected = head_end + header.record_length
+    if file_size < head_end:
+        raise SnapshotFormatError(
+            f"truncated snapshot: eager head ends at byte {head_end}, file has {file_size}"
+        )
+    if file_size > expected:
+        raise SnapshotFormatError("malformed snapshot: trailing bytes after record section")
+    try:
+        handle.seek(payload_offset)
+        head = handle.read(header.payload_length)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot: {exc}") from exc
+    if file_size < expected:
+        raise _record_truncation_error(head, header, available=file_size - head_end)
+    if zlib.crc32(head) != header.checksum:
+        raise SnapshotFormatError("corrupt snapshot: head checksum mismatch")
+
+    reader = _Reader(head)
+    _check_fingerprint(reader)
+    dictionary = _read_dictionary(reader)
+
+    records: List[DocumentRecord] = []
+    doc_ids: List[str] = []
+    doc_labels: Dict[str, List[DeweyLabel]] = {}
+    for _ in range(reader.varint()):
+        record, labels = _read_directory_entry(reader)
+        if record.offset + record.stored_length > header.record_length:
+            raise SnapshotFormatError(
+                f"malformed snapshot: document {record.doc_id!r} record extends past the record section"
+            )
+        records.append(record)
+        doc_ids.append(record.doc_id)
+        doc_labels[record.doc_id] = labels
+
+    if eager:
+        try:
+            handle.seek(head_end)
+            section = handle.read(header.record_length)
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot: {exc}") from exc
+        store: "DocumentStore | LazyDocumentStore" = DocumentStore()
+        for record in records:
+            root, elements = _decode_record(section, record)
+            store.add(record.doc_id, root, metadata=dict(record.metadata))
+            # Prefer the decoded tree's own label objects so eager loads keep
+            # the fresh-build identity sharing between postings and nodes.
+            doc_labels[record.doc_id] = [element.label for element in elements]
+    else:
+        store = _open_lazy_store(handle, records, head_end, max_materialised)
+
+    index = _read_index(reader, dictionary, doc_ids, doc_labels)
+    statistics = _read_statistics(reader, dictionary)
+    if not reader.at_end():
+        raise SnapshotFormatError("malformed snapshot: trailing bytes inside payload")
+    return Corpus._restore(
+        store=store,
+        dictionary=dictionary,
+        index=index,
+        statistics=statistics,
+        name=header.name,
+        version=header.corpus_version,
+    )
+
+
+def _open_lazy_store(
+    handle: BinaryIO,
+    records: List[DocumentRecord],
+    record_base: int,
+    max_materialised: Optional[int],
+) -> LazyDocumentStore:
+    """Map the snapshot and build the lazy backend over its record section.
+
+    The mapping covers the whole file (the record base is added per access),
+    stays valid after the caller closes its file handle, and is released by
+    the store's ``closer``.  An empty record section skips the mapping — a
+    zero-length mmap is an error, and with no records the loader can never
+    run anyway.
+    """
+    if max_materialised is None:
+        bound: Optional[int] = DEFAULT_MAX_MATERIALISED
+    elif max_materialised == 0:
+        bound = None
+    else:
+        bound = max_materialised
+    if not records:
+        return LazyDocumentStore([], _no_records_loader, max_materialised=bound)
+    try:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"cannot map snapshot record section: {exc}") from exc
+
+    def loader(record: DocumentRecord) -> XMLNode:
+        root, _ = _decode_record(mapped, record, base=record_base)
+        return root
+
+    return LazyDocumentStore(records, loader, closer=mapped.close, max_materialised=bound)
+
+
+def _no_records_loader(record: DocumentRecord) -> XMLNode:  # pragma: no cover
+    raise SnapshotFormatError(f"snapshot has no record section for document {record.doc_id!r}")
+
+
+def _check_fingerprint(reader: _Reader) -> None:
+    if reader.varint() != _tokenizer_fingerprint():
+        raise SnapshotFormatError(
+            "stale snapshot: it was built with a different tokenizer configuration"
+        )

@@ -228,3 +228,109 @@ class TestOperationalEndpoints:
             results = list(pool.map(fetch, range(12)))
         first = results[0]
         assert all(result == first for result in results)
+
+
+def conditional_get(url, etag=None):
+    """GET returning (status, etag, body); 304/4xx come back as values."""
+    request = urllib.request.Request(url)
+    if etag is not None:
+        request.add_header("If-None-Match", etag)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, response.headers.get("ETag"), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("ETag"), error.read()
+
+
+@pytest.fixture()
+def mutable_server():
+    """A server over a private two-document corpus that tests may mutate."""
+    from repro.storage.corpus import Corpus
+    from repro.storage.document_store import DocumentStore
+    from repro.xmlmodel.parser import parse_xml
+
+    store = DocumentStore()
+    store.add("p1", parse_xml("<product><name>TomTom Go GPS</name></product>"))
+    store.add("p2", parse_xml("<product><name>Garmin Nuvi GPS</name></product>"))
+    service = SearchService(Corpus(store, name="mutable"))
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield server, f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestConditionalGet:
+    def test_search_carries_etag(self, base_url):
+        status, etag, _ = conditional_get(f"{base_url}/search?q=gps")
+        assert status == 200
+        assert etag and etag.startswith('"search/v')
+
+    def test_search_if_none_match_is_304(self, base_url):
+        _, etag, _ = conditional_get(f"{base_url}/search?q=gps")
+        status, echoed, body = conditional_get(f"{base_url}/search?q=gps", etag=etag)
+        assert status == 304
+        assert echoed == etag  # validator echoed for cache refresh
+        assert body == b""  # 304 carries no body
+
+    def test_weak_and_star_validators_match(self, base_url):
+        _, etag, _ = conditional_get(f"{base_url}/search?q=gps")
+        status, _, _ = conditional_get(f"{base_url}/search?q=gps", etag=f"W/{etag}")
+        assert status == 304
+        status, _, _ = conditional_get(f"{base_url}/search?q=gps", etag="*")
+        assert status == 304
+
+    def test_etag_varies_with_semantics(self, base_url):
+        _, slca, _ = conditional_get(f"{base_url}/search?q=gps")
+        _, elca, _ = conditional_get(f"{base_url}/search?q=gps&semantics=elca")
+        assert slca != elca
+        assert "elca" in elca
+
+    def test_cursor_page_shares_the_query_etag(self, base_url):
+        _, first = get_json(f"{base_url}/search?q=camera&page_size=1")
+        cursor = urllib.parse.quote(first["next_cursor"])
+        _, etag_page1, _ = conditional_get(f"{base_url}/search?q=camera&page_size=1")
+        status, etag_page2, _ = conditional_get(f"{base_url}/search?cursor={cursor}")
+        assert status == 200
+        assert etag_page2 == etag_page1  # semantics recovered from the cursor
+        status, _, _ = conditional_get(f"{base_url}/search?cursor={cursor}", etag=etag_page1)
+        assert status == 304
+
+    def test_undecodable_cursor_still_410_despite_validator(self, base_url):
+        # A garbage cursor yields no ETag, so even If-None-Match: * cannot
+        # short-circuit the 410 the client needs to see.
+        status, _, body = conditional_get(f"{base_url}/search?cursor=garbage", etag="*")
+        assert status == 410
+        assert json.loads(body)["error"]["type"] == "InvalidCursorError"
+
+    def test_stats_if_none_match_is_304(self, base_url):
+        status, etag, _ = conditional_get(f"{base_url}/stats")
+        assert status == 200
+        assert etag and etag.startswith('"stats/v')
+        status, _, body = conditional_get(f"{base_url}/stats", etag=etag)
+        assert status == 304
+        assert body == b""
+
+    def test_mutation_invalidates_etags(self, mutable_server):
+        from repro.xmlmodel.parser import parse_xml
+
+        server, base_url = mutable_server
+        _, search_tag, _ = conditional_get(f"{base_url}/search?q=gps")
+        _, stats_tag, _ = conditional_get(f"{base_url}/stats")
+        assert conditional_get(f"{base_url}/search?q=gps", etag=search_tag)[0] == 304
+        server.service.corpus.add_document(
+            "p3", parse_xml("<product><name>Magellan GPS</name></product>")
+        )
+        status, new_search_tag, _ = conditional_get(
+            f"{base_url}/search?q=gps", etag=search_tag
+        )
+        assert status == 200  # stale validator: full response again
+        assert new_search_tag != search_tag
+        status, new_stats_tag, _ = conditional_get(f"{base_url}/stats", etag=stats_tag)
+        assert status == 200
+        assert new_stats_tag != stats_tag

@@ -208,15 +208,48 @@ class TestFailureModes:
         with pytest.raises(SnapshotFormatError, match="format version"):
             read_snapshot_header(path)
 
-    def test_corrupted_payload_rejected_by_checksum(self, tmp_path):
+    def test_corrupted_v1_payload_rejected_by_checksum(self, tmp_path):
         corpus = small_corpus()
         path = tmp_path / "c.snap"
-        corpus.save(path)
+        corpus.save(path, format=1)
         data = bytearray(path.read_bytes())
         data[-20] ^= 0xFF
         path.write_bytes(bytes(data))
         with pytest.raises(SnapshotFormatError, match="checksum"):
             Corpus.load(path)
+
+    def test_corrupted_v2_head_rejected_by_checksum_at_load(self, tmp_path):
+        corpus = small_corpus()
+        path = tmp_path / "c2.snap"
+        corpus.save(path)
+        header = read_snapshot_header(path)
+        # Header layout: magic(10) + fixed v2 fields(30) + name + crc32(4).
+        head_offset = 10 + 30 + len(header.name.encode("utf-8")) + 4
+        data = bytearray(path.read_bytes())
+        data[head_offset + 5] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotFormatError, match="checksum"):
+            Corpus.load(path)
+        # The eager path reads the same head and must reject it too.
+        with pytest.raises(SnapshotFormatError, match="checksum"):
+            Corpus.load(path, eager=True)
+
+    def test_corrupted_v2_record_rejected_by_checksum_on_access(self, tmp_path):
+        # Record damage is caught by the per-record crc32 — at load time for
+        # eager loads, on first materialisation for lazy ones (a lazy load
+        # must not read the whole record section just to validate it).
+        corpus = small_corpus()
+        path = tmp_path / "c3.snap"
+        corpus.save(path)
+        data = bytearray(path.read_bytes())
+        data[-20] ^= 0xFF  # inside the record section (the last document)
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotFormatError, match="checksum"):
+            Corpus.load(path, eager=True)
+        loaded = Corpus.load(path)
+        with pytest.raises(SnapshotFormatError, match="checksum"):
+            for doc_id in loaded.store.document_ids():
+                loaded.store.get(doc_id)
 
     def test_trailing_bytes_rejected(self, tmp_path):
         corpus = small_corpus()
