@@ -134,12 +134,25 @@ class SearchService:
         with self._lock:
             engine = self._engines.get(semantics)
             if engine is None:
-                engine = SearchEngine(
-                    self.corpus,
-                    semantics=semantics,
-                    cache_size=self._cache_size,
-                    cache_max_results=self._cache_max_results,
-                )
+                # Polymorphic dispatch: the corpus knows which engine serves
+                # it (a ShardedCorpus yields a fan-out ShardedSearchEngine),
+                # so the service works over sharded backends transparently.
+                # The getattr fallback keeps duck-typed corpus stand-ins in
+                # tests working without the full Corpus surface.
+                factory = getattr(self.corpus, "create_engine", None)
+                if factory is not None:
+                    engine = factory(
+                        semantics=semantics,
+                        cache_size=self._cache_size,
+                        cache_max_results=self._cache_max_results,
+                    )
+                else:
+                    engine = SearchEngine(
+                        self.corpus,
+                        semantics=semantics,
+                        cache_size=self._cache_size,
+                        cache_max_results=self._cache_max_results,
+                    )
                 self._engines[semantics] = engine
             return engine
 
@@ -526,13 +539,20 @@ class SearchService:
         for snapshot in per_engine.values():
             for key in aggregate:
                 aggregate[key] += snapshot[key]
+        corpus_stats: Dict[str, object] = {
+            "name": self.corpus.name,
+            "documents": len(self.corpus.store),
+            "version": self.corpus.version,
+            "store": self.corpus.store.stats(),
+        }
+        # Additive, never renaming (the wire schema is pinned by golden
+        # fixtures): a sharded backend reports its shard count here and its
+        # per-shard backend counters inside store["shards"].
+        shards = getattr(self.corpus, "shards", None)
+        if shards is not None:
+            corpus_stats["shard_count"] = len(shards)
         return {
-            "corpus": {
-                "name": self.corpus.name,
-                "documents": len(self.corpus.store),
-                "version": self.corpus.version,
-                "store": self.corpus.store.stats(),
-            },
+            "corpus": corpus_stats,
             "requests": {"search": search_count, "compare": compare_count},
             "semantics": available_semantics(),
             "cache": aggregate,
