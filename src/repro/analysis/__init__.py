@@ -1,0 +1,40 @@
+"""Project-specific static analysis for the XSACT reproduction.
+
+A small AST-based lint engine that checks the invariants the architecture
+relies on but Python cannot express: the package layer DAG, the typed-error
+contract, lock discipline in concurrent classes, the wire-protocol codec
+pairing, and snapshot determinism.  See ``docs/analysis.md`` for the rule
+catalogue, the baseline workflow and the ``# repro: ignore[rule-id]``
+suppression syntax.
+
+Run it as ``python -m repro.analysis [paths]`` or ``repro-xsact lint``.
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    Analyzer,
+    FileContext,
+    Rule,
+    Scope,
+    default_rules,
+    register_rule,
+    registered_rules,
+)
+from repro.analysis.runner import main, run_lint
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Scope",
+    "apply_baseline",
+    "default_rules",
+    "load_baseline",
+    "main",
+    "register_rule",
+    "registered_rules",
+    "run_lint",
+    "write_baseline",
+]

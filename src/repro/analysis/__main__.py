@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the project lint battery."""
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Baseline file: grandfathered findings that do not fail the run.
+
+Adopting a linter on a grown codebase is all-or-nothing without a baseline:
+either the first run fails on every pre-existing finding, or the rules stay
+off.  The baseline records accepted findings in a checked-in JSON file;
+``lint`` subtracts them from the current run and fails only on *new*
+findings.  Entries match on ``(file, rule, message)`` — never the line
+number, which shifts with every unrelated edit.
+
+Workflow:
+
+* ``repro-xsact lint src --update-baseline`` rewrites the file from the
+  current findings (run it once when adopting a rule, then commit).
+* Fixing a grandfathered finding makes its entry *stale*; stale entries are
+  reported so the baseline only ever shrinks by deliberate updates.
+* An empty baseline (``"findings": []``) is the steady state to defend.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> "Counter[_BaselineKey]":
+    """Load a baseline file into a multiset of finding keys.
+
+    A missing file is an empty baseline (so fresh checkouts and new tools
+    work before anyone commits one); a malformed file is a hard
+    :class:`~repro.errors.AnalysisError` — silently ignoring a broken
+    baseline would un-grandfather everything at once.
+    """
+    if not path.exists():
+        return Counter()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    entries = data.get("findings") if isinstance(data, dict) else None
+    if not isinstance(entries, list):
+        raise AnalysisError(
+            f"malformed baseline {path}: expected an object with a 'findings' list"
+        )
+    keys: "Counter[_BaselineKey]" = Counter()
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise AnalysisError(f"malformed baseline {path}: entry {position} is not an object")
+        try:
+            key = (str(entry["file"]), str(entry["rule"]), str(entry["message"]))
+        except KeyError as exc:
+            raise AnalysisError(
+                f"malformed baseline {path}: entry {position} is missing field {exc.args[0]!r}"
+            ) from exc
+        keys[key] += 1
+    return keys
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    payload = {
+        "comment": (
+            "Grandfathered repro.analysis findings. Entries match on "
+            "(file, rule, message); regenerate with: repro-xsact lint src --update-baseline"
+        ),
+        "findings": [
+            {"file": finding.file, "rule": finding.rule_id, "message": finding.message}
+            for finding in sorted(findings)
+        ],
+    }
+    try:
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot write baseline {path}: {exc}") from exc
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: "Counter[_BaselineKey]"
+) -> Tuple[List[Finding], List[_BaselineKey]]:
+    """Split findings into (new, stale-baseline-entries).
+
+    Each baseline entry absorbs at most as many findings as it was recorded
+    with; entries left unmatched are *stale* — the underlying finding was
+    fixed and the baseline should be regenerated to shrink.
+    """
+    remaining = Counter(baseline)
+    new_findings: List[Finding] = []
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new_findings.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0 for _ in range(count))
+    return new_findings, stale

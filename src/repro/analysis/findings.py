@@ -1,0 +1,45 @@
+"""The unit of analyzer output: one finding at one source location.
+
+A finding identifies *where* (repo-relative file, 1-based line), *what rule*
+(stable ``rule_id`` string, also the key of inline suppressions and baseline
+entries) and *what happened* (a human-readable message).  Findings order by
+location so reports are stable across runs and dict/set iteration orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line human-readable report form."""
+        return f"{self.file}:{self.line}: [{self.rule_id}] {self.message}"
+
+    def baseline_key(self) -> "tuple[str, str, str]":
+        """Identity used for baseline matching.
+
+        Line numbers are deliberately excluded: a baseline must survive
+        unrelated edits that shift code up or down, so grandfathered findings
+        match on (file, rule, message) alone.
+        """
+        return (self.file, self.rule_id, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -1,0 +1,21 @@
+"""The project rule battery.
+
+Importing this package registers every rule with the framework registry
+(each module applies the :func:`~repro.analysis.framework.register_rule`
+decorator at import time).  Add a new rule by dropping a module here,
+importing it below, and documenting it in ``docs/analysis.md``.
+"""
+
+from repro.analysis.rules.error_discipline import ErrorDisciplineRule
+from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.protocol_hygiene import ProtocolHygieneRule
+from repro.analysis.rules.snapshot_determinism import SnapshotDeterminismRule
+
+__all__ = [
+    "ErrorDisciplineRule",
+    "LayeringRule",
+    "LockDisciplineRule",
+    "ProtocolHygieneRule",
+    "SnapshotDeterminismRule",
+]

@@ -1,0 +1,97 @@
+"""Error-discipline rule: typed errors only, no bare ``except``.
+
+The library promises callers one catchable base class
+(:class:`repro.errors.ReproError`) with subsystem-specific subclasses, so:
+
+* ``raise ValueError(...)`` (or any other builtin exception) inside
+  ``repro.*`` leaks an untyped error through the API boundary — raise a
+  :mod:`repro.errors` type instead.  Where callers legitimately rely on
+  ``except KeyError`` / ``except ValueError`` semantics (mapping-style
+  lookups), the typed error inherits the builtin via multiple inheritance
+  (e.g. :class:`repro.errors.ResultNotFoundError`).
+* ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit`` and hides
+  typos forever; name a type (``except Exception:`` at worst).
+
+Only ``raise Builtin(...)`` / ``raise Builtin`` with a literal name is
+flagged: re-raises (bare ``raise``) and raising a variable are out of scope,
+as is everything outside the ``repro`` package (tests may raise whatever
+they like).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import FileContext, Rule, Scope, register_rule
+
+__all__ = ["ErrorDisciplineRule", "BUILTIN_EXCEPTIONS"]
+
+#: Builtin exception types that must not be raised inside ``repro.*``.
+BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "NotImplementedError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RuntimeError",
+        "StopIteration",
+        "TimeoutError",
+        "TypeError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+@register_rule
+class ErrorDisciplineRule(Rule):
+    rule_id = "error-discipline"
+    description = "no bare except; raise repro.errors types, not builtin exceptions"
+    interests = (ast.Raise, ast.ExceptHandler)
+
+    def visit(self, node: ast.AST, scope: Scope, context: FileContext) -> None:
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                context.report(
+                    self.rule_id,
+                    node.lineno,
+                    "bare 'except:' catches KeyboardInterrupt and SystemExit; "
+                    "name an exception type",
+                )
+            return
+        assert isinstance(node, ast.Raise)
+        if not context.module.startswith("repro"):
+            return
+        exception_name = _raised_name(node)
+        if exception_name in BUILTIN_EXCEPTIONS:
+            context.report(
+                self.rule_id,
+                node.lineno,
+                f"raises builtin {exception_name}; raise a typed repro.errors "
+                "exception instead (inherit the builtin if callers catch it)",
+            )
+
+
+def _raised_name(node: ast.Raise) -> str:
+    """The bare name being raised, for ``raise Name`` / ``raise Name(...)``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return ""

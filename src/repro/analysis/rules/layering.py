@@ -1,0 +1,146 @@
+"""Layering rule: imports must follow the project's layer DAG.
+
+The architecture stacks packages in strict layers (documented in
+``docs/architecture.md``); an import may only reach *down* the stack, never
+up or sideways, so low layers stay reusable and the dependency graph stays
+acyclic:
+
+====  ==========================================
+rank  packages
+====  ==========================================
+0     ``errors`` (importable from everywhere)
+1     ``xmlmodel``, ``analysis``
+2     ``storage``
+3     ``search``, ``entity``, ``datasets``
+4     ``features``
+5     ``core``
+6     ``comparison``, ``snippets``, ``workloads``
+7     ``service``, ``experiments``
+8     ``cli`` (nothing may import it)
+====  ==========================================
+
+Same-rank packages are peers and may not import each other.  Imports inside
+``if TYPE_CHECKING:`` blocks are exempt — they never execute at runtime, so
+they cannot create a load-time cycle (the annotation-only reference is the
+standard escape hatch for typing a lower layer against an upper one).
+The package root ``repro/__init__.py`` is exempt: re-exporting the public
+API is its whole job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from repro.analysis.framework import FileContext, Rule, Scope, register_rule
+
+__all__ = ["LayeringRule", "LAYERS"]
+
+#: Package (or top-level module) name -> layer rank.  Lower ranks are more
+#: fundamental; an import is legal only when the target rank is strictly
+#: below the importer's (or the same package, or ``errors``).
+LAYERS: Dict[str, int] = {
+    "errors": 0,
+    "xmlmodel": 1,
+    "analysis": 1,
+    "storage": 2,
+    "search": 3,
+    "entity": 3,
+    "datasets": 3,
+    "features": 4,
+    "core": 5,
+    "comparison": 6,
+    "snippets": 6,
+    "workloads": 6,
+    "service": 7,
+    "experiments": 7,
+    "cli": 8,
+}
+
+_ROOT_PACKAGE = "repro"
+
+
+def _layer_of(module: str) -> Optional[str]:
+    """The layer key of a dotted ``repro.*`` module, or ``None`` if foreign."""
+    parts = module.split(".")
+    if parts[0] != _ROOT_PACKAGE:
+        return None
+    if len(parts) == 1:
+        return _ROOT_PACKAGE  # the package root itself
+    return parts[1]
+
+
+@register_rule
+class LayeringRule(Rule):
+    rule_id = "layering"
+    description = "imports must follow the layer DAG (and nothing imports cli)"
+    interests = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, scope: Scope, context: FileContext) -> None:
+        if scope.type_checking:
+            return
+        source_layer = _layer_of(context.module)
+        if source_layer is None or context.module == _ROOT_PACKAGE:
+            return  # not our package / the exempt API root
+        for target in self._imported_modules(node, context):
+            self._check_edge(node, source_layer, target, context)
+
+    def _imported_modules(self, node: ast.AST, context: FileContext) -> "list[str]":
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        assert isinstance(node, ast.ImportFrom)
+        if node.level:  # relative import: resolve against the current module
+            base_parts = context.module.split(".")
+            # level 1 strips the module name itself (or, for a package
+            # __init__, nothing semantically different for layer purposes).
+            prefix = base_parts[: len(base_parts) - node.level]
+            base = ".".join(prefix)
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+            return [base] if base else []
+        return [node.module] if node.module else []
+
+    def _check_edge(
+        self, node: ast.AST, source_layer: str, target_module: str, context: FileContext
+    ) -> None:
+        target_layer = _layer_of(target_module)
+        if target_layer is None or target_layer == source_layer:
+            return
+        line = getattr(node, "lineno", 1)
+        if target_layer == _ROOT_PACKAGE:
+            context.report(
+                self.rule_id,
+                line,
+                f"{context.module} imports the package root {_ROOT_PACKAGE!r} "
+                "(import the concrete submodule instead)",
+            )
+            return
+        if target_layer == "cli":
+            context.report(
+                self.rule_id,
+                line,
+                f"{context.module} imports repro.cli: the CLI is the top of the "
+                "stack and nothing may depend on it",
+            )
+            return
+        if target_layer == "errors":
+            return
+        source_rank = LAYERS.get(source_layer)
+        target_rank = LAYERS.get(target_layer)
+        if source_rank is None or target_rank is None:
+            unknown = source_layer if source_rank is None else target_layer
+            context.report(
+                self.rule_id,
+                line,
+                f"package {unknown!r} has no layer assignment; add it to the "
+                "layer DAG in repro.analysis.rules.layering",
+            )
+            return
+        if target_rank >= source_rank:
+            context.report(
+                self.rule_id,
+                line,
+                f"{context.module} (layer {source_rank}: {source_layer}) may not "
+                f"import {target_module} (layer {target_rank}: {target_layer}): "
+                "imports must go strictly down the layer DAG",
+            )

@@ -1,0 +1,159 @@
+"""Lock-discipline rule: guarded state stays guarded.
+
+For every class whose ``__init__`` creates a ``threading.Lock`` /
+``threading.RLock`` attribute, the rule computes the set of *guarded*
+attributes — every ``self.<attr>`` touched (read or written) inside a
+``with self.<lock>:`` block anywhere in the class — and then flags any
+method that writes one of those attributes *outside* such a block.  Writing
+half of a lock-guarded invariant without the lock is exactly the race that
+code review keeps missing once a class grows beyond a screen.
+
+Recognised writes: ``self.attr = ...``, ``self.attr += ...``,
+``del self.attr``, and container mutation through a subscript
+(``self.attr[key] = ...``).
+
+Escape hatches, in preference order:
+
+* ``__init__`` is exempt — construction is single-threaded by contract.
+* Methods whose name ends in ``_locked`` are exempt: the suffix is the
+  project convention for "caller already holds the lock".
+* An inline ``# repro: ignore[lock-discipline]`` for the rare genuinely
+  safe unguarded write (say so in a comment next to it).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.analysis.framework import FileContext, Rule, Scope, register_rule
+
+__all__ = ["LockDisciplineRule"]
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+@dataclass(frozen=True)
+class _AttrAccess:
+    """One ``self.<attr>`` touch inside a method."""
+
+    attr: str
+    line: int
+    is_write: bool
+    under_lock: bool
+
+
+def _is_lock_factory_call(value: ast.expr) -> bool:
+    """Match ``threading.Lock()`` / ``threading.RLock()`` / bare ``Lock()``."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return False
+
+
+def _self_attribute(node: ast.expr) -> str:
+    """The attribute name of a ``self.<attr>`` expression, else ``""``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _locks_created_in_init(class_node: ast.ClassDef) -> Set[str]:
+    """Attribute names assigned a Lock/RLock in the class's ``__init__``."""
+    locks: Set[str] = set()
+    for statement in class_node.body:
+        if not (isinstance(statement, ast.FunctionDef) and statement.name == "__init__"):
+            continue
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Assign) and _is_lock_factory_call(node.value):
+                for target in node.targets:
+                    attr = _self_attribute(target)
+                    if attr:
+                        locks.add(attr)
+    return locks
+
+
+def _collect_accesses(
+    method: ast.AST, locks: Set[str], under_lock: bool, accesses: List[_AttrAccess]
+) -> None:
+    """Walk one method body tracking whether a lock ``with`` block encloses us."""
+    for child in ast.iter_child_nodes(method):
+        child_under_lock = under_lock
+        if isinstance(child, ast.With):
+            if any(_self_attribute(item.context_expr) in locks for item in child.items):
+                child_under_lock = True
+        elif isinstance(child, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = child.targets if isinstance(child, (ast.Assign, ast.Delete)) else [child.target]
+            for target in targets:
+                attr = _self_attribute(target)
+                if not attr and isinstance(target, ast.Subscript):
+                    attr = _self_attribute(target.value)
+                if attr:
+                    accesses.append(
+                        _AttrAccess(
+                            attr=attr, line=child.lineno, is_write=True, under_lock=under_lock
+                        )
+                    )
+        elif isinstance(child, ast.Attribute):
+            attr = _self_attribute(child)
+            if attr and isinstance(child.ctx, ast.Load):
+                accesses.append(
+                    _AttrAccess(attr=attr, line=child.lineno, is_write=False, under_lock=under_lock)
+                )
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue  # nested definitions run later, under their own discipline
+        _collect_accesses(child, locks, child_under_lock, accesses)
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    rule_id = "lock-discipline"
+    description = "methods must hold the instance lock when writing guarded attributes"
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, scope: Scope, context: FileContext) -> None:
+        assert isinstance(node, ast.ClassDef)
+        locks = _locks_created_in_init(node)
+        if not locks:
+            return
+        methods = [
+            statement
+            for statement in node.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        per_method: List[Tuple[ast.AST, List[_AttrAccess]]] = []
+        guarded: Set[str] = set()
+        for method in methods:
+            accesses: List[_AttrAccess] = []
+            _collect_accesses(method, locks, under_lock=False, accesses=accesses)
+            per_method.append((method, accesses))
+            for access in accesses:
+                if access.under_lock:
+                    guarded.add(access.attr)
+        guarded -= locks  # the lock attribute itself is not guarded state
+        if not guarded:
+            return
+        for method, accesses in per_method:
+            name = getattr(method, "name", "")
+            if name == "__init__" or name.endswith("_locked"):
+                continue
+            for access in accesses:
+                if access.is_write and not access.under_lock and access.attr in guarded:
+                    context.report(
+                        self.rule_id,
+                        access.line,
+                        f"{node.name}.{name} writes self.{access.attr} without "
+                        f"holding the lock that guards it elsewhere in the class "
+                        f"(wrap in 'with self.{sorted(locks)[0]}:', rename the "
+                        "method to *_locked if callers must hold it, or suppress "
+                        "with a justification)",
+                    )

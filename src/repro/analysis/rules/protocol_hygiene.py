@@ -1,0 +1,58 @@
+"""Protocol-hygiene rule: wire types carry a complete JSON codec.
+
+Every dataclass in :mod:`repro.service.protocol` is a wire type: it crosses
+the service boundary as JSON and promises the round-trip contract
+``T.from_dict(x.to_dict()) == x``.  A dataclass with only half the codec
+compiles fine and fails at the first request that touches the missing
+direction, so the rule demands both a ``to_dict`` method and a ``from_dict``
+classmethod on every dataclass defined in the protocol module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import FileContext, Rule, Scope, register_rule
+
+__all__ = ["ProtocolHygieneRule"]
+
+#: Modules whose dataclasses must carry the to_dict/from_dict codec pair.
+PROTOCOL_MODULES = ("repro.service.protocol",)
+
+
+def _is_dataclass_decorator(decorator: ast.expr) -> bool:
+    """Match ``@dataclass``, ``@dataclass(...)`` and ``@dataclasses.dataclass``."""
+    if isinstance(decorator, ast.Call):
+        decorator = decorator.func
+    if isinstance(decorator, ast.Name):
+        return decorator.id == "dataclass"
+    if isinstance(decorator, ast.Attribute):
+        return decorator.attr == "dataclass"
+    return False
+
+
+@register_rule
+class ProtocolHygieneRule(Rule):
+    rule_id = "protocol-hygiene"
+    description = "protocol dataclasses must define the to_dict/from_dict codec pair"
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, scope: Scope, context: FileContext) -> None:
+        assert isinstance(node, ast.ClassDef)
+        if not context.is_module(*PROTOCOL_MODULES):
+            return
+        if not any(_is_dataclass_decorator(decorator) for decorator in node.decorator_list):
+            return
+        methods = {
+            statement.name
+            for statement in node.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        missing = [name for name in ("to_dict", "from_dict") if name not in methods]
+        if missing:
+            context.report(
+                self.rule_id,
+                node.lineno,
+                f"protocol dataclass {node.name} is missing {' and '.join(missing)}: "
+                "every wire type must round-trip through its JSON codec pair",
+            )

@@ -1,0 +1,152 @@
+"""The ``lint`` front-end: argument parsing, baseline handling, reporting.
+
+Shared by ``python -m repro.analysis`` and ``repro-xsact lint`` — both call
+:func:`main`.  Exit status: 0 for a clean run (no non-baseline findings and
+no stale baseline entries), 1 for findings, 2 for usage/configuration
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Analyzer, default_rules, registered_rules
+from repro.errors import AnalysisError
+
+__all__ = ["add_lint_arguments", "build_parser", "run_lint", "main", "DEFAULT_BASELINE"]
+
+#: The checked-in baseline the CI gate runs against.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+_DESCRIPTION = (
+    "Project-specific static analysis: layering, error discipline, "
+    "lock discipline, protocol hygiene, snapshot determinism."
+)
+
+
+def build_parser(prog: str = "repro-xsact lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=_DESCRIPTION)
+    add_lint_arguments(parser)
+    return parser
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared with the ``repro-xsact lint`` subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE}; "
+        "a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="enable only this rule (repeatable; default: the full battery)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+
+
+def run_lint(arguments: argparse.Namespace, out: TextIO) -> int:
+    """Execute one lint run; returns the process exit code."""
+    if arguments.list_rules:
+        for rule_id, factory in sorted(registered_rules().items()):
+            print(f"{rule_id}: {factory().description}", file=out)
+        return 0
+
+    analyzer = Analyzer(default_rules(arguments.rules))
+    findings = analyzer.analyze_paths([Path(target) for target in arguments.paths])
+
+    baseline_path = Path(arguments.baseline)
+    if arguments.update_baseline:
+        write_baseline(findings, baseline_path)
+        print(
+            f"baseline {baseline_path} updated with {len(findings)} finding(s)",
+            file=out,
+        )
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new_findings, stale = apply_baseline(findings, baseline)
+
+    if arguments.format == "json":
+        report = {
+            "findings": [finding.to_dict() for finding in new_findings],
+            "baselined": len(findings) - len(new_findings),
+            "stale_baseline_entries": [
+                {"file": file, "rule": rule, "message": message}
+                for file, rule, message in stale
+            ],
+        }
+        print(json.dumps(report, indent=2), file=out)
+    else:
+        for finding in new_findings:
+            print(finding.format(), file=out)
+        for file, rule, message in stale:
+            print(
+                f"stale baseline entry (finding no longer occurs): "
+                f"{file}: [{rule}] {message} — regenerate with --update-baseline",
+                file=out,
+            )
+        _print_summary(new_findings, len(findings) - len(new_findings), len(stale), out)
+    return 1 if new_findings or stale else 0
+
+
+def _print_summary(
+    new_findings: List[Finding], baselined: int, stale: int, out: TextIO
+) -> None:
+    if not new_findings and not stale:
+        suffix = f" ({baselined} baselined)" if baselined else ""
+        print(f"clean: no findings{suffix}", file=out)
+        return
+    per_rule: "dict[str, int]" = {}
+    for finding in new_findings:
+        per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+    breakdown = ", ".join(f"{rule}: {count}" for rule, count in sorted(per_rule.items()))
+    print(
+        f"{len(new_findings)} finding(s)"
+        + (f" [{breakdown}]" if breakdown else "")
+        + (f", {baselined} baselined" if baselined else "")
+        + (f", {stale} stale baseline entr(ies)" if stale else ""),
+        file=out,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    """Entry point of ``python -m repro.analysis``."""
+    stream = out if out is not None else sys.stdout
+    parser = build_parser(prog="python -m repro.analysis")
+    arguments = parser.parse_args(argv)
+    try:
+        return run_lint(arguments, stream)
+    except AnalysisError as error:
+        print(f"error: {error}", file=stream)
+        return 2

@@ -15,6 +15,9 @@ Python:
 * ``repro-xsact save-snapshot`` — persist a corpus as one binary snapshot
   file, so later invocations cold-start with ``--snapshot`` in a fraction of
   the parse-and-index time.
+* ``repro-xsact lint`` — run the project's static-analysis battery
+  (:mod:`repro.analysis`) over the source tree; the CI gate runs exactly
+  this command.
 
 Every command that reads a corpus accepts exactly one of three sources: a
 generated ``--dataset``, a ``--corpus-dir`` of ``.xml`` files, or a
@@ -44,6 +47,7 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.analysis.runner import add_lint_arguments, run_lint
 from repro.core.config import DFSConfig
 from repro.datasets.imdb import generate_imdb_corpus
 from repro.datasets.outdoor_retailer import generate_outdoor_corpus
@@ -177,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="zlib-compress individual document records (v2 only)",
     )
     _add_shards_argument(save_snapshot)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project static-analysis battery (see docs/analysis.md)",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -371,6 +381,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "serve": _command_serve,
         "figure4": _command_figure4,
         "save-snapshot": _command_save_snapshot,
+        "lint": run_lint,
     }
     try:
         return handlers[arguments.command](arguments, out)

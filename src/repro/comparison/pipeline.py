@@ -102,7 +102,7 @@ class Xsact:
         # Local import: the service layer sits *above* the comparison
         # pipeline (it returns ComparisonOutcome objects), so importing it at
         # module scope would be circular.
-        from repro.service.service import SearchService
+        from repro.service.service import SearchService  # repro: ignore[layering]
 
         self.service = SearchService(corpus, config=config, algorithm=algorithm)
         self.corpus = corpus

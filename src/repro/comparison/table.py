@@ -8,7 +8,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 from repro.core.config import DFSConfig
 from repro.core.dfs import DFS, DFSSet
 from repro.core.dod import differentiable, total_dod
-from repro.errors import ComparisonError
+from repro.errors import ComparisonError, ComparisonLookupError
 from repro.features.feature import FeatureType
 from repro.features.statistics import FeatureStatistics
 
@@ -172,13 +172,14 @@ class ComparisonTable:
 
         Raises
         ------
-        KeyError
-            If the table has no such row.
+        ComparisonLookupError
+            If the table has no such row (also catchable as
+            :class:`KeyError`).
         """
         for row in self.rows:
             if row.feature_type == feature_type:
                 return row
-        raise KeyError(str(feature_type))
+        raise ComparisonLookupError(f"no comparison row for feature type {feature_type}")
 
     def differentiating_rows(self) -> List[ComparisonRow]:
         """Rows on which at least one pair of results is differentiable."""
@@ -189,13 +190,14 @@ class ComparisonTable:
 
         Raises
         ------
-        KeyError
-            If the result id is not a column.
+        ComparisonLookupError
+            If the result id is not a column (also catchable as
+            :class:`KeyError`).
         """
         try:
             return self.column_ids.index(result_id)
         except ValueError:
-            raise KeyError(result_id) from None
+            raise ComparisonLookupError(f"no comparison column for result id {result_id!r}") from None
 
 
 def _row_differentiates(present_rows: List[FeatureStatistics], config: DFSConfig) -> bool:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
-from repro.errors import DFSConstructionError
+from repro.errors import DFSConstructionError, ResultNotFoundError
 from repro.features.feature import FeatureType
 from repro.features.statistics import FeatureStatistics, ResultFeatures
 
@@ -149,13 +149,14 @@ class DFSSet:
 
         Raises
         ------
-        KeyError
-            If the result id is unknown.
+        ResultNotFoundError
+            If the result id is unknown (also catchable as
+            :class:`KeyError`).
         """
         for dfs in self._dfss:
             if dfs.result_id == result_id:
                 return dfs
-        raise KeyError(result_id)
+        raise ResultNotFoundError(result_id)
 
     def result_ids(self) -> List[str]:
         """Return the result ids in order."""

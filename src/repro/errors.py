@@ -20,17 +20,23 @@ __all__ = [
     "SnapshotVersionError",
     "QueryError",
     "SearchError",
+    "ResultNotFoundError",
     "ServiceError",
     "ProtocolError",
     "InvalidCursorError",
     "EntityInferenceError",
     "FeatureExtractionError",
+    "FeatureTypeParseError",
+    "UnknownFeatureTypeError",
     "DFSConstructionError",
     "InvalidDFSError",
     "ComparisonError",
+    "ComparisonLookupError",
     "DatasetError",
     "WorkloadError",
     "ExperimentError",
+    "UnknownQueryError",
+    "AnalysisError",
 ]
 
 
@@ -108,6 +114,22 @@ class SearchError(ReproError):
     """Raised when search-engine evaluation fails."""
 
 
+class ResultNotFoundError(SearchError, KeyError):
+    """Raised when a result id is not present in a result or DFS set.
+
+    Inherits :class:`KeyError` because the lookup is mapping-like and
+    long-standing callers select results inside ``except KeyError`` blocks;
+    ``__str__`` is pinned to the plain-message form so the error does not
+    render with :class:`KeyError`'s quoted-repr formatting.
+    """
+
+    __str__ = Exception.__str__
+
+    def __init__(self, result_id: str):
+        super().__init__(f"no result with id {result_id!r}")
+        self.result_id = result_id
+
+
 class ServiceError(ReproError):
     """Base class for service-layer errors (requests, cursors, protocol)."""
 
@@ -142,6 +164,28 @@ class FeatureExtractionError(ReproError):
     """Raised when feature extraction fails on a result tree."""
 
 
+class FeatureTypeParseError(FeatureExtractionError, ValueError):
+    """Raised when an ``entity.attribute`` feature-type string is malformed.
+
+    Inherits :class:`ValueError` for callers that validate user input with
+    the conventional ``except ValueError``.
+    """
+
+
+class UnknownFeatureTypeError(FeatureExtractionError, KeyError):
+    """Raised when a feature type is absent from a statistics table.
+
+    Inherits :class:`KeyError` because the lookup is mapping-like;
+    ``__str__`` is pinned so messages render unquoted.
+    """
+
+    __str__ = Exception.__str__
+
+    def __init__(self, feature_type: str):
+        super().__init__(f"unknown feature type: {feature_type}")
+        self.feature_type = feature_type
+
+
 class DFSConstructionError(ReproError):
     """Raised when DFS construction receives inconsistent inputs."""
 
@@ -154,6 +198,16 @@ class ComparisonError(ReproError):
     """Raised when a comparison table cannot be assembled or rendered."""
 
 
+class ComparisonLookupError(ComparisonError, KeyError):
+    """Raised when a comparison-table row or column lookup misses.
+
+    Inherits :class:`KeyError` because the lookup is mapping-like;
+    ``__str__`` is pinned so messages render unquoted.
+    """
+
+    __str__ = Exception.__str__
+
+
 class DatasetError(ReproError):
     """Raised by the synthetic dataset generators for invalid parameters."""
 
@@ -164,3 +218,26 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment runner is misconfigured."""
+
+
+class UnknownQueryError(ExperimentError, KeyError):
+    """Raised when a workload has no query with the requested name.
+
+    Inherits :class:`KeyError` because the lookup is mapping-like;
+    ``__str__`` is pinned so messages render unquoted.
+    """
+
+    __str__ = Exception.__str__
+
+    def __init__(self, query_name: str):
+        super().__init__(f"no query named {query_name!r} in the workload")
+        self.query_name = query_name
+
+
+class AnalysisError(ReproError):
+    """Raised when the static-analysis engine is misused or misconfigured.
+
+    Covers unknown rule ids, unreadable targets, syntactically invalid
+    sources and malformed baseline files — never a rule *finding*, which is
+    data (:class:`repro.analysis.findings.Finding`), not an exception.
+    """

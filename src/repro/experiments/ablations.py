@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import DFSConfig
+from repro.errors import UnknownQueryError
 from repro.core.dod import total_dod
 from repro.core.generator import DFSGenerator
 from repro.features.statistics import ResultFeatures
@@ -62,7 +63,7 @@ def _features_for(runner: WorkloadRunner, query_name: str) -> List[ResultFeature
     for spec in runner.workload.queries:
         if spec.name == query_name:
             return runner.result_features(spec)
-    raise KeyError(query_name)
+    raise UnknownQueryError(query_name)
 
 
 def run_size_limit_ablation(

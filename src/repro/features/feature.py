@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.errors import FeatureTypeParseError
+
 __all__ = ["FeatureType", "Feature"]
 
 
@@ -29,10 +31,16 @@ class FeatureType:
         Entity names may themselves contain dots (e.g. the ``review.pro``
         opinion-group scope), so the attribute is the *last* dot-separated
         segment.
+
+        Raises
+        ------
+        FeatureTypeParseError
+            If the text has no dot separator (also catchable as
+            :class:`ValueError`).
         """
         entity, _, attribute = text.rpartition(".")
         if not entity or not attribute:
-            raise ValueError(f"malformed feature type: {text!r}")
+            raise FeatureTypeParseError(f"malformed feature type: {text!r}")
         return cls(entity=entity, attribute=attribute)
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import FeatureExtractionError
+from repro.errors import FeatureExtractionError, UnknownFeatureTypeError
 from repro.features.feature import Feature, FeatureType
 
 __all__ = ["FeatureStatistics", "ResultFeatures"]
@@ -155,12 +155,13 @@ class ResultFeatures:
 
         Raises
         ------
-        KeyError
-            If the feature type is not present.
+        UnknownFeatureTypeError
+            If the feature type is not present (also catchable as
+            :class:`KeyError`).
         """
         row = self._by_type.get(feature_type)
         if row is None:
-            raise KeyError(str(feature_type))
+            raise UnknownFeatureTypeError(str(feature_type))
         ordered = self.significance_order(feature_type.entity)
         return ordered.index(row)
 

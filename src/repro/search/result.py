@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import SearchError
+from repro.errors import ResultNotFoundError, SearchError
 from repro.search.query import KeywordQuery
 from repro.xmlmodel.dewey import DeweyLabel
 from repro.xmlmodel.node import XMLNode
@@ -101,13 +101,14 @@ class SearchResultSet:
 
         Raises
         ------
-        KeyError
-            If no result carries that id.
+        ResultNotFoundError
+            If no result carries that id (also catchable as
+            :class:`KeyError`).
         """
         for result in self.results:
             if result.result_id == result_id:
                 return result
-        raise KeyError(result_id)
+        raise ResultNotFoundError(result_id)
 
     def select(self, result_ids: Sequence[str]) -> List[SearchResult]:
         """Return the results with the given ids, in the requested order.

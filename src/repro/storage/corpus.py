@@ -192,7 +192,10 @@ class Corpus:
         the corpus type.  (Imported lazily: storage must not depend on the
         search package at import time.)
         """
-        from repro.search.engine import SearchEngine
+        # The one sanctioned upward edge: create_engine is the polymorphic
+        # dispatch point the service layer relies on, and the lazy import
+        # keeps storage import-time independent of search.
+        from repro.search.engine import SearchEngine  # repro: ignore[layering]
 
         return SearchEngine(
             self,

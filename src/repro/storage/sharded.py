@@ -515,7 +515,9 @@ class ShardedCorpus:
         cache_max_results: Optional[int] = 4096,
     ):
         """Build the fan-out engine for this corpus (service dispatch point)."""
-        from repro.search.sharded_engine import ShardedSearchEngine
+        # Same sanctioned upward edge as Corpus.create_engine: polymorphic
+        # engine dispatch, imported lazily to stay acyclic at import time.
+        from repro.search.sharded_engine import ShardedSearchEngine  # repro: ignore[layering]
 
         return ShardedSearchEngine(
             self,

@@ -359,7 +359,9 @@ def _decode_tree(reader: _Reader) -> Tuple[XMLNode, List[XMLNode]]:
                     )
                 end = offset + (header >> 1)
                 if end > limit:
-                    raise IndexError
+                    # Internal control flow only: caught by the except below
+                    # and converted to a typed SnapshotFormatError.
+                    raise IndexError  # repro: ignore[error-discipline]
                 label = label_new(DeweyLabel)
                 label._components = components
                 node = node_new(XMLNode)
@@ -388,7 +390,9 @@ def _decode_tree(reader: _Reader) -> Tuple[XMLNode, List[XMLNode]]:
                         shift += 7
                 end = offset + length
                 if end > limit:
-                    raise IndexError
+                    # Internal control flow only: caught by the except below
+                    # and converted to a typed SnapshotFormatError.
+                    raise IndexError  # repro: ignore[error-discipline]
                 tag = data[offset:end].decode("utf-8")
                 offset = end
                 attributes: Dict[str, str] = {}

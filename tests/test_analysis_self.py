@@ -1,0 +1,40 @@
+"""The analyzer run on this repository itself: the CI gate as a test.
+
+The acceptance bar for the lint engine is that ``repro-xsact lint src``
+exits 0 against the checked-in baseline.  Running the same battery from the
+test suite keeps the gate honest even where CI is not wired up, and pins
+the current steady state: the baseline is empty, so the source tree itself
+is clean under every rule.
+"""
+
+import io
+from pathlib import Path
+
+from repro.analysis import Analyzer, apply_baseline, default_rules, load_baseline
+from repro.analysis.runner import DEFAULT_BASELINE, main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_DIR = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / DEFAULT_BASELINE
+
+
+def test_source_tree_has_no_non_baseline_findings():
+    analyzer = Analyzer(default_rules())
+    findings = analyzer.analyze_paths([SOURCE_DIR])
+    new, stale = apply_baseline(findings, load_baseline(BASELINE))
+    assert new == [], "new findings:\n" + "\n".join(f.format() for f in new)
+    assert stale == [], f"stale baseline entries: {stale}"
+
+
+def test_baseline_is_empty():
+    # The steady state to defend: every finding in src/ is either fixed or
+    # carries an inline justification, none are grandfathered.  Growing the
+    # baseline again is a deliberate act, not drift.
+    assert sum(load_baseline(BASELINE).values()) == 0
+
+
+def test_lint_front_end_exits_clean():
+    out = io.StringIO()
+    code = lint_main([str(SOURCE_DIR), "--baseline", str(BASELINE)], out=out)
+    assert code == 0, out.getvalue()
+    assert "clean" in out.getvalue()

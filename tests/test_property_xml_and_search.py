@@ -4,7 +4,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.storage.document_store import DocumentStore
 from repro.storage.inverted_index import InvertedIndex, Posting
-from repro.storage.tokenizer import tokenize
+from repro.storage.tokenizer import _TOKEN_PATTERN, _split_tokens, tokenize
 from repro.search.elca import compute_elca, compute_elca_scan
 from repro.search.slca import compute_slca, compute_slca_merge, compute_slca_scan
 from repro.xmlmodel.builder import TreeBuilder
@@ -129,6 +129,13 @@ class TestTokenizerProperties:
     def test_tokenize_is_idempotent(self, text):
         tokens = tokenize(text)
         assert tokenize(" ".join(tokens)) == tokens
+
+    @given(st.text(max_size=80))
+    def test_split_tokens_matches_regex_oracle(self, text):
+        # The regex-free splitter must produce exactly the [a-z0-9]+ runs the
+        # pattern (still the fingerprint's source of truth) would find.
+        lowered = text.lower()
+        assert _split_tokens(lowered) == _TOKEN_PATTERN.findall(lowered)
 
 
 # --------------------------------------------------------------------------- #
