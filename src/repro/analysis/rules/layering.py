@@ -10,13 +10,14 @@ rank  packages
 ====  ==========================================
 0     ``errors`` (importable from everywhere)
 1     ``xmlmodel``, ``analysis``
-2     ``storage``
-3     ``search``, ``entity``, ``datasets``
-4     ``features``
-5     ``core``
-6     ``comparison``, ``snippets``, ``workloads``
-7     ``service``, ``experiments``
-8     ``cli`` (nothing may import it)
+2     ``structure``
+3     ``storage``
+4     ``search``, ``entity``, ``datasets``
+5     ``features``
+6     ``core``
+7     ``comparison``, ``snippets``, ``workloads``
+8     ``service``, ``experiments``
+9     ``cli`` (nothing may import it)
 ====  ==========================================
 
 Same-rank packages are peers and may not import each other.  Imports inside
@@ -43,18 +44,19 @@ LAYERS: Dict[str, int] = {
     "errors": 0,
     "xmlmodel": 1,
     "analysis": 1,
-    "storage": 2,
-    "search": 3,
-    "entity": 3,
-    "datasets": 3,
-    "features": 4,
-    "core": 5,
-    "comparison": 6,
-    "snippets": 6,
-    "workloads": 6,
-    "service": 7,
-    "experiments": 7,
-    "cli": 8,
+    "structure": 2,
+    "storage": 3,
+    "search": 4,
+    "entity": 4,
+    "datasets": 4,
+    "features": 5,
+    "core": 6,
+    "comparison": 7,
+    "snippets": 7,
+    "workloads": 7,
+    "service": 8,
+    "experiments": 8,
+    "cli": 9,
 }
 
 _ROOT_PACKAGE = "repro"

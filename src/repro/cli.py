@@ -54,6 +54,7 @@ from repro.datasets.outdoor_retailer import generate_outdoor_corpus
 from repro.datasets.product_reviews import generate_product_reviews_corpus
 from repro.errors import ReproError
 from repro.experiments.figure4 import run_figure4
+from repro.search.structural import AXES, StructuredQuery, parse_tag_path
 from repro.experiments.report import format_measurements
 from repro.service.http import create_server
 from repro.service.service import DEFAULT_MAX_PAGE_SIZE, SearchService
@@ -103,14 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--query", required=True, help="keyword query, e.g. 'tomtom gps'")
     search.add_argument(
         "--semantics",
-        default="slca",
-        help="match semantics: slca (default), elca, or any registered name",
+        default=None,
+        help="match semantics: slca, elca, slca_struct, or any registered name "
+        "(default: slca, or slca_struct when a structural constraint is given)",
     )
     search.add_argument(
         "--limit",
         type=_non_negative_int,
         default=None,
         help="maximum number of results to list",
+    )
+    search.add_argument(
+        "--within",
+        action="append",
+        default=None,
+        metavar="TAG[/TAG...]",
+        help="structural filter: re-anchor matches to their innermost enclosing "
+        "element whose tag path ends with this path (repeatable; repeats extend "
+        "the path)",
+    )
+    search.add_argument(
+        "--axis",
+        default=None,
+        choices=list(AXES),
+        help="axis step applied to each match (use with --axis-tag)",
+    )
+    search.add_argument(
+        "--axis-tag",
+        default=None,
+        metavar="TAG",
+        help="tag the axis step selects, e.g. --axis descendant --axis-tag review",
     )
 
     compare = subparsers.add_parser("compare", help="compare the top results of a query")
@@ -261,12 +284,32 @@ def _load_corpus(arguments: argparse.Namespace):
 
 def _command_search(arguments: argparse.Namespace, out) -> int:
     service = SearchService(_load_corpus(arguments))
-    result_set = service.search_results(
-        arguments.query, semantics=arguments.semantics, limit=arguments.limit
-    )
+    within: tuple = ()
+    if arguments.within:
+        within = tuple(
+            step for part in arguments.within for step in parse_tag_path(part)
+        )
+    constrained = bool(within) or arguments.axis is not None
+    if constrained:
+        query: "str | StructuredQuery" = StructuredQuery.from_parts(
+            arguments.query,
+            within=within,
+            axis=arguments.axis,
+            axis_tag=arguments.axis_tag,
+        )
+    else:
+        if arguments.axis_tag is not None:
+            raise ReproError("--axis-tag requires --axis")
+        query = arguments.query
+    semantics = arguments.semantics
+    if semantics is None:
+        # Same default rule as the HTTP front-end: structural constraints
+        # need the structure-aware semantics.
+        semantics = "slca_struct" if constrained else "slca"
+    result_set = service.search_results(query, semantics=semantics, limit=arguments.limit)
     print(
         f'{len(result_set)} result(s) for query "{arguments.query}" '
-        f"on corpus {service.corpus.name!r}:",
+        f"on corpus {service.corpus.name!r} under {semantics}:",
         file=out,
     )
     for result in result_set:

@@ -12,6 +12,7 @@ __all__ = [
     "ReproError",
     "XMLParseError",
     "DeweyError",
+    "StructureError",
     "StorageError",
     "DocumentNotFoundError",
     "IndexError_",
@@ -60,6 +61,18 @@ class XMLParseError(ReproError):
 
 class DeweyError(ReproError):
     """Raised for malformed Dewey labels or invalid Dewey operations."""
+
+
+class StructureError(ReproError):
+    """Raised by the structural index (:mod:`repro.structure`).
+
+    Covers inconsistent label/tag tables handed to
+    :class:`~repro.structure.encoding.DocumentStructure`, out-of-range tag
+    ids, and structural lookups for nodes the index does not know.  Snapshot
+    files whose *persisted* structural section is damaged raise
+    :class:`SnapshotFormatError` instead — corruption is a storage concern,
+    misuse of a live index is a structure concern.
+    """
 
 
 class StorageError(ReproError):

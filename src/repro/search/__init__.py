@@ -13,6 +13,10 @@ scratch:
   should see (the entity subtree that contains the matches).
 * :mod:`~repro.search.ranking` — TF-IDF result ranking so result lists have a
   stable, relevance-flavoured order.
+* :mod:`~repro.search.structural` — :class:`StructuredQuery` (keywords plus
+  axis constraints and tag-path filters) and the ``slca_struct`` semantics,
+  which evaluates SLCA over the pre/post structural encoding of
+  :mod:`repro.structure` instead of Dewey labels.
 * :class:`~repro.search.engine.SearchEngine` — the facade used by XSACT's
   pipeline and by the experiments.
 """
@@ -30,11 +34,15 @@ from repro.search.semantics import (
     unregister_semantics,
 )
 from repro.search.slca import compute_slca, compute_slca_merge, compute_slca_scan
+from repro.search.structural import StructuredQuery, compute_slca_struct, parse_tag_path
 from repro.search.xseek import infer_return_subtree
 
 __all__ = [
     "KeywordQuery",
+    "StructuredQuery",
+    "parse_tag_path",
     "compute_slca",
+    "compute_slca_struct",
     "compute_slca_merge",
     "compute_slca_scan",
     "compute_elca",

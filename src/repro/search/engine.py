@@ -46,7 +46,13 @@ from repro.errors import SearchError
 from repro.search.query import KeywordQuery
 from repro.search.ranking import rank_results
 from repro.search.result import SearchResult, SearchResultSet
-from repro.search.semantics import get_semantics, semantics_generation
+from repro.search.semantics import (
+    MatchContext,
+    get_registration,
+    get_semantics,
+    semantics_generation,
+)
+from repro.search.structural import StructuredQuery
 from repro.search.xseek import infer_return_subtree
 from repro.storage.corpus import Corpus
 from repro.storage.inverted_index import Posting
@@ -295,15 +301,31 @@ class SearchEngine:
         # views drift apart and poison the shared entry.
         # copy=False: the match algorithms never mutate the lists, so the hot
         # path skips one posting-list copy per keyword.
+        # Resolved through the registry on every call (a dict probe), so a
+        # semantics registered after this engine was built is immediately
+        # usable and the engine never hard-codes match algorithms.
+        registration = get_registration(self.semantics)
+        if (
+            isinstance(query, StructuredQuery)
+            and query.has_constraints
+            and not registration.accepts_context
+        ):
+            # Silently evaluating only the keywords would return results the
+            # constraints should have filtered — fail loudly instead.
+            raise SearchError(
+                f"semantics {self.semantics!r} ignores structural constraints; "
+                "use a structure-aware semantics such as 'slca_struct'"
+            )
         posting_lists = self.corpus.index.keyword_node_lists(
             query.normalized_keywords, copy=False
         )
         if not posting_lists:
             return []
-        # Resolved through the registry on every call (a dict probe), so a
-        # semantics registered after this engine was built is immediately
-        # usable and the engine never hard-codes match algorithms.
-        return get_semantics(self.semantics)(posting_lists)
+        if registration.accepts_context:
+            return registration.fn(
+                posting_lists, MatchContext(corpus=self.corpus, query=query)
+            )
+        return registration.fn(posting_lists)
 
     def _materialise_results(self, matches: List[Posting]) -> List[SearchResult]:
         seen_return_nodes: Dict[Tuple[str, DeweyLabel], SearchResult] = {}

@@ -13,6 +13,17 @@ engine.  The service layer exposes the registered name per request, so a
 deployment can add, say, a ``"vlca"`` or an intersection-only semantics and
 query it over HTTP immediately.
 
+Semantics that need more than the posting lists — the structural semantics
+``slca_struct`` consults the corpus's structural table and the query's axis
+constraints — register with ``accepts_context=True`` and receive a
+:class:`MatchContext` as a second argument:
+
+    fn(keyword_postings, context: MatchContext) -> List[Posting]
+
+The engine resolves the registration (not just the function) per query and
+passes the context only to semantics that declared the appetite, so plain
+two-argument-free semantics keep their original signature.
+
 Contract for registered functions: they must be **pure and thread-safe**
 (the service evaluates queries concurrently), must not mutate the posting
 lists they are given (the engine hands out zero-copy views of the index), and
@@ -26,31 +37,69 @@ the test oracles rely on them).
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.errors import SearchError
 from repro.search.elca import compute_elca
+from repro.search.query import KeywordQuery
 from repro.search.slca import compute_slca
 from repro.storage.inverted_index import Posting
 
 __all__ = [
     "MatchSemantics",
+    "MatchContext",
+    "SemanticsRegistration",
     "register_semantics",
     "unregister_semantics",
     "get_semantics",
+    "get_registration",
     "semantics_generation",
     "available_semantics",
     "BUILTIN_SEMANTICS",
 ]
 
-MatchSemantics = Callable[[Sequence[Sequence[Posting]]], List[Posting]]
+MatchSemantics = Callable[..., List[Posting]]
+
+
+@dataclass(frozen=True)
+class MatchContext:
+    """Evaluation context handed to ``accepts_context`` semantics.
+
+    Attributes
+    ----------
+    corpus:
+        The corpus under evaluation — duck-typed, because sharded fan-out
+        hands each sub-engine a per-shard view, not a full
+        :class:`~repro.storage.corpus.Corpus`.  Context-aware semantics may
+        rely on ``corpus.structure`` (the
+        :class:`~repro.structure.table.StructuralTable`), ``corpus.index``
+        and ``corpus.statistics``.
+    query:
+        The query being evaluated; a
+        :class:`~repro.search.structural.StructuredQuery` carries axis
+        constraints and tag-path filters on top of the keywords.
+    """
+
+    corpus: Any
+    query: KeywordQuery
+
+
+@dataclass(frozen=True)
+class SemanticsRegistration:
+    """One registry entry: the match function plus its calling convention."""
+
+    name: str
+    fn: MatchSemantics
+    accepts_context: bool = False
+
 
 BUILTIN_SEMANTICS: Tuple[str, ...] = ("slca", "elca")
 
 _lock = threading.Lock()
-_registry: Dict[str, MatchSemantics] = {
-    "slca": compute_slca,
-    "elca": compute_elca,
+_registry: Dict[str, SemanticsRegistration] = {
+    "slca": SemanticsRegistration("slca", compute_slca),
+    "elca": SemanticsRegistration("elca", compute_elca),
 }
 # Bumped on every (re-)registration of a name.  Engine caches fold the
 # generation into their keys, so results computed under a replaced function
@@ -59,7 +108,13 @@ _registry: Dict[str, MatchSemantics] = {
 _generations: Dict[str, int] = {}
 
 
-def register_semantics(name: str, fn: MatchSemantics, *, replace: bool = False) -> None:
+def register_semantics(
+    name: str,
+    fn: MatchSemantics,
+    *,
+    replace: bool = False,
+    accepts_context: bool = False,
+) -> None:
     """Register a match semantics under ``name``.
 
     Parameters
@@ -74,6 +129,11 @@ def register_semantics(name: str, fn: MatchSemantics, *, replace: bool = False) 
         Allow overwriting an existing *custom* registration.  The built-in
         ``"slca"``/``"elca"`` entries can never be replaced — the engine
         default and every stored cache key assume their meaning is fixed.
+    accepts_context:
+        Declare that ``fn`` takes ``(keyword_postings, context)`` and should
+        receive a :class:`MatchContext` per evaluation.  Only context-aware
+        semantics can honour the structural constraints of a
+        :class:`~repro.search.structural.StructuredQuery`.
 
     Raises
     ------
@@ -92,7 +152,7 @@ def register_semantics(name: str, fn: MatchSemantics, *, replace: bool = False) 
             raise SearchError(
                 f"semantics {name!r} is already registered (pass replace=True to overwrite)"
             )
-        _registry[name] = fn
+        _registry[name] = SemanticsRegistration(name, fn, accepts_context)
         _generations[name] = _generations.get(name, 0) + 1
 
 
@@ -116,8 +176,11 @@ def unregister_semantics(name: str) -> None:
         _generations[name] = _generations.get(name, 0) + 1
 
 
-def get_semantics(name: str) -> MatchSemantics:
-    """Resolve a semantics name to its match function.
+def get_registration(name: str) -> SemanticsRegistration:
+    """Resolve a semantics name to its full registry entry.
+
+    The engine uses this to learn the calling convention
+    (:attr:`SemanticsRegistration.accepts_context`) alongside the function.
 
     Raises
     ------
@@ -128,12 +191,17 @@ def get_semantics(name: str) -> MatchSemantics:
     """
     # Single dict probe without the lock: CPython dict reads are atomic, and
     # registration is rare (startup-time) while resolution is per-query.
-    fn = _registry.get(name)
-    if fn is None:
+    registration = _registry.get(name)
+    if registration is None:
         raise SearchError(
             f"unknown result semantics: {name!r}; available: {available_semantics()}"
         )
-    return fn
+    return registration
+
+
+def get_semantics(name: str) -> MatchSemantics:
+    """Resolve a semantics name to its match function (see :func:`get_registration`)."""
+    return get_registration(name).fn
 
 
 def semantics_generation(name: str) -> int:

@@ -88,6 +88,13 @@ class _ShardView:
         return self._owner.statistics
 
     @property
+    def structure(self):
+        # Per-shard structural tables: pre/post numbers are document-local,
+        # so structural evaluation needs no cross-shard state and fan-out
+        # merges stay exact (matches are unioned in document order).
+        return self._shard.structure
+
+    @property
     def version(self) -> int:
         return self._owner.version
 

@@ -34,7 +34,7 @@ import base64
 import binascii
 import json
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import InvalidCursorError
 
@@ -45,7 +45,14 @@ _CURSOR_VERSION = 1
 
 @dataclass(frozen=True)
 class Cursor:
-    """The decoded contents of a pagination cursor."""
+    """The decoded contents of a pagination cursor.
+
+    ``within``/``axis``/``axis_tag`` carry the structural constraints of a
+    :class:`~repro.search.structural.StructuredQuery` walk; they are encoded
+    only when set, so cursors for plain keyword walks are byte-identical to
+    the pre-structural format (old tokens keep decoding, and old clients
+    never see unfamiliar keys unless they issue structured queries).
+    """
 
     keywords: Tuple[str, ...]
     semantics: str
@@ -53,21 +60,28 @@ class Cursor:
     corpus_version: int
     page_size: int
     semantics_generation: int = 0
+    within: Tuple[str, ...] = ()
+    axis: Optional[str] = None
+    axis_tag: Optional[str] = None
 
     def encode(self) -> str:
         """Serialise to the opaque wire token."""
-        payload = json.dumps(
-            {
-                "v": _CURSOR_VERSION,
-                "k": list(self.keywords),
-                "s": self.semantics,
-                "o": self.offset,
-                "cv": self.corpus_version,
-                "ps": self.page_size,
-                "sg": self.semantics_generation,
-            },
-            separators=(",", ":"),
-        )
+        data: Dict[str, Any] = {
+            "v": _CURSOR_VERSION,
+            "k": list(self.keywords),
+            "s": self.semantics,
+            "o": self.offset,
+            "cv": self.corpus_version,
+            "ps": self.page_size,
+            "sg": self.semantics_generation,
+        }
+        if self.within:
+            data["w"] = list(self.within)
+        if self.axis is not None:
+            data["a"] = self.axis
+        if self.axis_tag is not None:
+            data["at"] = self.axis_tag
+        payload = json.dumps(data, separators=(",", ":"))
         return base64.urlsafe_b64encode(payload.encode("utf-8")).decode("ascii")
 
 
@@ -78,6 +92,10 @@ def encode_cursor(
     corpus_version: int,
     page_size: int,
     semantics_generation: int = 0,
+    *,
+    within: Tuple[str, ...] = (),
+    axis: Optional[str] = None,
+    axis_tag: Optional[str] = None,
 ) -> str:
     """Build and encode a cursor in one call."""
     return Cursor(
@@ -87,6 +105,9 @@ def encode_cursor(
         corpus_version=corpus_version,
         page_size=page_size,
         semantics_generation=semantics_generation,
+        within=tuple(within),
+        axis=axis,
+        axis_tag=axis_tag,
     ).encode()
 
 
@@ -114,6 +135,16 @@ def decode_cursor(token: str) -> Cursor:
     corpus_version = data.get("cv")
     page_size = data.get("ps")
     generation = data.get("sg")
+    within = data.get("w", [])
+    axis = data.get("a")
+    axis_tag = data.get("at")
+    if (
+        not isinstance(within, list)
+        or not all(isinstance(step, str) and step for step in within)
+        or not (axis is None or isinstance(axis, str))
+        or not (axis_tag is None or isinstance(axis_tag, str))
+    ):
+        raise InvalidCursorError(f"malformed cursor payload: {token!r}")
     if (
         not isinstance(keywords, list)
         or not keywords
@@ -139,4 +170,7 @@ def decode_cursor(token: str) -> Cursor:
         corpus_version=corpus_version,
         page_size=page_size,
         semantics_generation=generation,
+        within=tuple(within),
+        axis=axis,
+        axis_tag=axis_tag,
     )

@@ -7,7 +7,10 @@ nothing but ``curl``:
 * ``GET /search?q=...&semantics=...&page_size=...&cursor=...`` — one page of
   ranked results (:class:`~repro.service.protocol.SearchResponse` as JSON).
   Follow ``next_cursor`` for the next page; the query may be omitted when a
-  cursor is given.
+  cursor is given.  Structural constraints ride along as ``within=`` (may
+  repeat; each value a slash-separated tag path), ``axis=`` and
+  ``axis_tag=`` — any of them turns the request into a structured query
+  evaluated under ``slca_struct`` unless ``semantics`` says otherwise.
 * ``POST /compare`` — body is a
   :class:`~repro.service.protocol.CompareRequest` JSON object; answers with
   the comparison table as plain data.
@@ -34,10 +37,16 @@ changes the tag and the next conditional request gets a full ``200``.  The
 ticking request counters — a client polling stats for *corpus* changes
 revalidates for free, and one that wants fresh counters simply omits the
 header.
+
+Compression: JSON bodies are gzip-compressed when the client offers it via
+``Accept-Encoding`` (``gzip`` or ``x-gzip``, honouring ``q=0`` opt-outs) and
+the body is large enough to benefit; every compressible response carries
+``Vary: Accept-Encoding`` so shared caches key on the negotiation.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -57,7 +66,10 @@ from repro.service.service import SearchService
 __all__ = ["XsactHTTPServer", "create_server"]
 
 _ENDPOINTS = {
-    "GET /search": "paginated keyword search (q, semantics, page_size, cursor)",
+    "GET /search": (
+        "paginated keyword search (q, semantics, page_size, cursor; "
+        "structural: within, axis, axis_tag)"
+    ),
     "POST /compare": "comparison table for a query's results (JSON body)",
     "GET /healthz": "liveness probe",
     "GET /stats": "request counters and cache statistics",
@@ -94,6 +106,11 @@ def create_server(
 
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: far beyond any legitimate CompareRequest
+
+# Bodies below this stay identity-encoded: gzip's ~20-byte envelope plus the
+# extra header lines can *grow* tiny JSON payloads, and the CPU spend saves
+# nothing on a response that fits in one packet anyway.
+_GZIP_MIN_BYTES = 256
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -134,11 +151,17 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def _search(self, raw_query_string: str) -> None:
         params = parse_qs(raw_query_string)
+        within_values = params.get("within")
         request = SearchRequest(
             query=self._param(params, "q") or self._param(params, "query") or "",
             semantics=self._param(params, "semantics"),
             page_size=self._int_param(params, "page_size"),
             cursor=self._param(params, "cursor"),
+            # All repeats are kept (unlike single-valued params): each is one
+            # or more slash-separated steps of the tag path.
+            within=tuple(within_values) if within_values else None,
+            axis=self._param(params, "axis"),
+            axis_tag=self._param(params, "axis_tag"),
         )
         etag = self._search_etag(request)
         if etag is not None and self._if_none_match_hit(etag):
@@ -177,7 +200,11 @@ class _Handler(BaseHTTPRequestHandler):
             except InvalidCursorError:
                 return None
         if semantics is None:
-            semantics = "slca"
+            # Mirror the service's unspecified-semantics default: structural
+            # constraints flip it to the structure-aware semantics.
+            semantics = (
+                "slca_struct" if (request.within or request.axis is not None) else "slca"
+            )
         version = self._service.corpus.version
         return f'"search/v{version}/{semantics}.{semantics_generation(semantics)}"'
 
@@ -260,10 +287,44 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # Response plumbing
     # ------------------------------------------------------------------ #
+    def _accepts_gzip(self) -> bool:
+        """Whether the request's ``Accept-Encoding`` allows a gzip body.
+
+        Token scan with q-value handling: ``gzip;q=0`` is an explicit opt-out
+        and ``*`` is deliberately not treated as consent — only a client that
+        names gzip (or its legacy ``x-gzip`` alias) gets compressed bytes.
+        """
+        header = self.headers.get("Accept-Encoding")
+        if header is None:
+            return False
+        for token in header.split(","):
+            coding, _, params = token.partition(";")
+            if coding.strip().lower() not in ("gzip", "x-gzip"):
+                continue
+            q_text = params.strip()
+            if q_text.lower().startswith("q="):
+                try:
+                    return float(q_text[2:]) > 0
+                except ValueError:
+                    return False
+            return True
+        return False
+
     def _respond(self, status: int, payload: Dict[str, Any], etag: Optional[str] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
+        # The representation varies with Accept-Encoding even when this
+        # particular response stayed identity (too small, or consent came and
+        # went): caches must always key on the header.
+        compressed = len(body) >= _GZIP_MIN_BYTES and self._accepts_gzip()
+        if compressed:
+            # mtime=0 keeps the gzip envelope deterministic, so equal JSON
+            # bodies stay byte-identical across requests (and in tests).
+            body = gzip.compress(body, mtime=0)
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
+        if compressed:
+            self.send_header("Content-Encoding", "gzip")
+        self.send_header("Vary", "Accept-Encoding")
         self.send_header("Content-Length", str(len(body)))
         if etag is not None:
             self.send_header("ETag", etag)

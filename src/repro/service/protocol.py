@@ -137,29 +137,59 @@ class SearchRequest:
     cursor:
         Opaque continuation token from a previous response's ``next_cursor``;
         ``None`` starts at the first page.
+    within:
+        Structural tag-path filter: each entry is one tag step, together a
+        path suffix (``("movie", "cast")``).  ``None`` means no filter.  Any
+        structural constraint turns the request into a
+        :class:`~repro.search.structural.StructuredQuery` and the default
+        semantics into ``"slca_struct"``.
+    axis:
+        XPath-style axis step applied to each match: ``"self"``, ``"child"``,
+        ``"descendant"`` or ``"ancestor"``; ``None`` means none.
+    axis_tag:
+        Tag the axis step selects (required by every axis but ``"self"``).
+
+    The structural fields are serialised only when set, so requests without
+    them stay byte-identical to the pre-structural wire format.
     """
 
     query: str = ""
     semantics: Optional[str] = None
     page_size: Optional[int] = None
     cursor: Optional[str] = None
+    within: Optional[Tuple[str, ...]] = None
+    axis: Optional[str] = None
+    axis_tag: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "query": self.query,
             "semantics": self.semantics,
             "page_size": self.page_size,
             "cursor": self.cursor,
         }
+        if self.within is not None:
+            data["within"] = list(self.within)
+        if self.axis is not None:
+            data["axis"] = self.axis
+        if self.axis_tag is not None:
+            data["axis_tag"] = self.axis_tag
+        return data
 
     @classmethod
     def from_dict(cls, data: Any) -> "SearchRequest":
         data = _mapping(data, "SearchRequest")
+        within: Optional[Tuple[str, ...]] = None
+        if data.get("within") is not None:
+            within = tuple(_str_list(data, "within", where="SearchRequest"))
         return cls(
             query=_get(data, "query", str, where="SearchRequest", default=""),
             semantics=_get_optional(data, "semantics", str, where="SearchRequest"),
             page_size=_get_optional(data, "page_size", int, where="SearchRequest"),
             cursor=_get_optional(data, "cursor", str, where="SearchRequest"),
+            within=within,
+            axis=_get_optional(data, "axis", str, where="SearchRequest"),
+            axis_tag=_get_optional(data, "axis_tag", str, where="SearchRequest"),
         )
 
 

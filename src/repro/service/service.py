@@ -38,10 +38,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.comparison.table import ComparisonTable
 from repro.core.config import DFSConfig
 from repro.core.generator import DFSGenerator
-from repro.errors import ComparisonError, InvalidCursorError, ServiceError
+from repro.errors import ComparisonError, InvalidCursorError, QueryError, ServiceError
 from repro.features.extractor import FeatureExtractor
 from repro.search.engine import SearchEngine
 from repro.search.query import KeywordQuery
+from repro.search.structural import StructuredQuery, parse_tag_path
 from repro.search.result import SearchResult, SearchResultSet
 from repro.search.semantics import available_semantics, semantics_generation
 from repro.service.cursor import decode_cursor, encode_cursor
@@ -408,7 +409,36 @@ class SearchService:
                     f"semantics {cursor.semantics!r} was re-registered since this "
                     f"cursor was issued; restart pagination"
                 )
-            query = KeywordQuery(keywords=cursor.keywords, raw=request.query)
+            # Constraint fields on a continuation must agree with the cursor
+            # too, for the same reason as query and semantics above.
+            req_within, req_axis, req_axis_tag = self._request_constraints(request)
+            if request.within is not None and req_within != cursor.within:
+                raise InvalidCursorError(
+                    f"cursor was issued for within path {list(cursor.within)!r}, "
+                    f"request asks for {list(req_within)!r}"
+                )
+            if request.axis is not None and (
+                req_axis != cursor.axis or req_axis_tag != cursor.axis_tag
+            ):
+                raise InvalidCursorError(
+                    f"cursor was issued for axis {cursor.axis!r}/{cursor.axis_tag!r}, "
+                    f"request asks for {req_axis!r}/{req_axis_tag!r}"
+                )
+            try:
+                if cursor.within or cursor.axis is not None:
+                    query = StructuredQuery(
+                        keywords=cursor.keywords,
+                        raw=request.query,
+                        within=cursor.within,
+                        axis=cursor.axis,
+                        axis_tag=cursor.axis_tag,
+                    )
+                else:
+                    query = KeywordQuery(keywords=cursor.keywords, raw=request.query)
+            except QueryError as exc:
+                # The token is untrusted input: a constraint combination the
+                # query model rejects is a malformed cursor, not a server bug.
+                raise InvalidCursorError(f"malformed cursor constraints: {exc}") from exc
             semantics = cursor.semantics
             offset = cursor.offset
             # The cursor pins the walk's page size, so a cursor-only
@@ -418,8 +448,20 @@ class SearchService:
                 request.page_size if request.page_size is not None else cursor.page_size
             )
         else:
-            query = KeywordQuery.parse(request.query)
-            semantics = request.semantics if request.semantics is not None else "slca"
+            within, axis, axis_tag = self._request_constraints(request)
+            if within or axis is not None:
+                query = StructuredQuery.from_parts(
+                    request.query, within=within, axis=axis, axis_tag=axis_tag
+                )
+                # Structural constraints need a structure-aware semantics, so
+                # the unspecified-semantics default follows the request shape.
+                default_semantics = "slca_struct"
+            else:
+                query = KeywordQuery.parse(request.query)
+                default_semantics = "slca"
+            semantics = (
+                request.semantics if request.semantics is not None else default_semantics
+            )
             offset = 0
             page_size = (
                 request.page_size if request.page_size is not None else self.default_page_size
@@ -442,13 +484,21 @@ class SearchService:
         next_offset = offset + page_size
         next_cursor = None
         if next_offset < total:
+            constrained = query if isinstance(query, StructuredQuery) else None
             next_cursor = encode_cursor(
-                keywords=query.cache_key,
+                # The *base* keyword identity, not cache_key: a structured
+                # query's cache key carries "@"-marker entries, while the
+                # cursor stores the constraints in their own fields (and the
+                # continuation's query-agreement check parses plain keywords).
+                keywords=tuple(sorted(query.normalized_keywords)),
                 semantics=semantics,
                 offset=next_offset,
                 corpus_version=version,
                 page_size=page_size,
                 semantics_generation=semantics_generation(semantics),
+                within=constrained.within if constrained is not None else (),
+                axis=constrained.axis if constrained is not None else None,
+                axis_tag=constrained.axis_tag if constrained is not None else None,
             )
         return SearchResponse(
             query=str(query),
@@ -459,6 +509,24 @@ class SearchService:
             next_cursor=next_cursor,
             corpus_version=version,
         )
+
+    @staticmethod
+    def _request_constraints(
+        request: SearchRequest,
+    ) -> Tuple[Tuple[str, ...], Optional[str], Optional[str]]:
+        """Normalise a request's structural constraint fields.
+
+        Each ``within`` entry may itself be a slash-separated path (the HTTP
+        front-end passes repeated ``within=`` parameters through verbatim);
+        the steps are flattened into one tag path.
+        """
+        within: Tuple[str, ...] = ()
+        if request.within:
+            steps: List[str] = []
+            for part in request.within:
+                steps.extend(parse_tag_path(part))
+            within = tuple(steps)
+        return within, request.axis, request.axis_tag
 
     def compare(self, request: CompareRequest) -> CompareResponse:
         """Serve one comparison request and return the table as plain data."""

@@ -28,6 +28,7 @@ from repro.storage.document_store import BaseDocumentStore, DocumentStore
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.statistics import CorpusStatistics
 from repro.storage.term_dictionary import TermDictionary
+from repro.structure.table import StructuralTable
 from repro.xmlmodel.node import XMLNode
 
 __all__ = ["Corpus"]
@@ -42,7 +43,15 @@ class Corpus:
         self.dictionary = TermDictionary()
         self.index = InvertedIndex.build(store, dictionary=self.dictionary)
         self.statistics = CorpusStatistics.build(store, dictionary=self.dictionary)
+        # Lazily populated: documents are structurally indexed on the first
+        # structured query that touches them, so pure keyword workloads never
+        # pay for the encoding (see repro.structure).
+        self.structure = StructuralTable(self._document_root)
         self.version = 0
+
+    def _document_root(self, doc_id: str) -> XMLNode:
+        """Root loader for the structural table — always the live store."""
+        return self.store.get(doc_id).root
 
     @classmethod
     def from_directory(cls, directory: Union[str, Path], name: Optional[str] = None) -> "Corpus":
@@ -70,13 +79,16 @@ class Corpus:
         statistics: CorpusStatistics,
         name: str,
         version: int,
+        structure: Optional[StructuralTable] = None,
     ) -> "Corpus":
         """Assemble a corpus from already-built parts (snapshot loading).
 
         Bypasses ``__init__`` — the whole point of a snapshot is that index
         and statistics arrive ready-made instead of being rebuilt from the
         store.  The parts must share ``dictionary``, as a normal construction
-        would guarantee.
+        would guarantee.  ``structure`` carries a snapshot's persisted
+        structural table; ``None`` (older files, v1 files) attaches an empty
+        lazy table that recomputes per document on first structural access.
         """
         corpus = cls.__new__(cls)
         corpus.name = name
@@ -84,6 +96,9 @@ class Corpus:
         corpus.dictionary = dictionary
         corpus.index = index
         corpus.statistics = statistics
+        corpus.structure = structure if structure is not None else StructuralTable(
+            corpus._document_root
+        )
         corpus.version = version
         return corpus
 
@@ -259,6 +274,7 @@ class Corpus:
             # bumps the version, keeping caches honest about the mutation).
             self.refresh()
             raise
+        self.structure.discard(doc_id)
         self.version += 1
 
     def refresh(self) -> None:
@@ -271,6 +287,9 @@ class Corpus:
         self.dictionary = TermDictionary()
         self.index = InvertedIndex.build(self.store, dictionary=self.dictionary)
         self.statistics = CorpusStatistics.build(self.store, dictionary=self.dictionary)
+        # Structural indexes derive from the store too: start a fresh lazy
+        # table so edited trees cannot serve stale pre/post windows.
+        self.structure = StructuralTable(self._document_root)
         self.version += 1
 
     def describe(self) -> Dict[str, float]:

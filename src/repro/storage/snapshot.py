@@ -87,9 +87,14 @@ from array import array
 from dataclasses import dataclass
 from pathlib import Path
 from types import MappingProxyType
-from typing import TYPE_CHECKING, BinaryIO, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, BinaryIO, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.errors import SnapshotError, SnapshotFormatError, SnapshotVersionError
+from repro.errors import (
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotVersionError,
+    StructureError,
+)
 from repro.storage.document_store import DocumentStore
 from repro.storage.inverted_index import InvertedIndex, Posting
 from repro.storage.lazy_store import (
@@ -100,6 +105,8 @@ from repro.storage.lazy_store import (
 from repro.storage.statistics import CorpusStatistics, PathSummary
 from repro.storage.term_dictionary import TermDictionary
 from repro.storage.tokenizer import fingerprint as _tokenizer_fingerprint
+from repro.structure.encoding import DocumentStructure, TagDictionary
+from repro.structure.table import StructuralTable
 from repro.xmlmodel.dewey import DeweyLabel
 from repro.xmlmodel.node import NodeKind, XMLNode
 
@@ -144,6 +151,14 @@ _ATTRS_BIT = 2
 
 # Directory-entry flag bits (v2).
 _RECORD_ZLIB = 1
+
+# Marker varint opening the optional structural section at the tail of a v2
+# head ("ST" as a little integer).  The section is strictly additive: a head
+# that ends right after the statistics (every file written before the section
+# existed) simply has no marker, and the loader falls back to an empty lazy
+# structural table.  Readers predating the section reject new files with
+# their trailing-bytes check instead of misreading them.
+_STRUCTURE_MARKER = 0x5354
 
 
 @dataclass(frozen=True)
@@ -264,14 +279,20 @@ class _Reader:
 # --------------------------------------------------------------------------- #
 # Document trees
 # --------------------------------------------------------------------------- #
-def _encode_tree(writer: _Writer, root: XMLNode) -> Dict[DeweyLabel, int]:
+def _encode_tree(
+    writer: _Writer, root: XMLNode, tag_names: Optional[List[str]] = None
+) -> Dict[DeweyLabel, int]:
     """Serialise one document tree in pre-order; return label → element index.
 
     The mapping numbers the *element* nodes in document order — the index
     section refers to posting nodes by this dense per-document index, which is
     both smaller than a Dewey label and free to resolve at load time (v1
     rebuilds the same list while materialising the tree; v2 stores it as the
-    directory's label table).
+    directory's label table).  When ``tag_names`` is given, the element tags
+    are appended to it in the same pre-order — the v2 structural section
+    persists them so loads can rebuild each
+    :class:`~repro.structure.encoding.DocumentStructure` from the label table
+    without touching the record section.
     """
     label_index: Dict[DeweyLabel, int] = {}
     stack = [root]
@@ -279,6 +300,8 @@ def _encode_tree(writer: _Writer, root: XMLNode) -> Dict[DeweyLabel, int]:
         node = stack.pop()
         if node.is_element:
             label_index[node.label] = len(label_index)
+            if tag_names is not None:
+                tag_names.append(node.tag or "")
             attributes = node.attributes
             writer.varint(len(node.children) << 2 | (_ATTRS_BIT if attributes else 0))
             writer.string(node.tag or "")
@@ -678,6 +701,91 @@ def _read_statistics(reader: _Reader, dictionary: TermDictionary) -> CorpusStati
 
 
 # --------------------------------------------------------------------------- #
+# v2 structural section (pre/post encoding tag tables)
+# --------------------------------------------------------------------------- #
+def _write_structure(
+    writer: _Writer,
+    doc_ids: List[str],
+    doc_tag_ids: Dict[str, List[int]],
+    tag_names: List[str],
+) -> None:
+    """Append the structural section: one tag dictionary + per-doc tag arrays.
+
+    Everything else a :class:`~repro.structure.encoding.DocumentStructure`
+    needs — pre, post, level, parent links and subtree windows — derives in
+    ``O(n)`` from the label tables the directory already stores, so the
+    section only persists what the labels cannot express: which *tag* each
+    element carries.  Tag ids are section-local (first-seen order over the
+    save's document iteration); the reader re-interns them in the same
+    order, so ids round-trip without a remap.
+    """
+    writer.varint(_STRUCTURE_MARKER)
+    writer.varint(len(tag_names))
+    for tag in tag_names:
+        writer.string(tag)
+    for doc_id in doc_ids:
+        writer.u32_array(doc_tag_ids[doc_id])
+
+
+def _read_structure_section(
+    reader: _Reader,
+    doc_ids: List[str],
+    doc_labels: Dict[str, List[DeweyLabel]],
+    loader: "Callable[[str], XMLNode]",
+) -> StructuralTable:
+    """Decode the structural section into a ready
+    :class:`~repro.structure.table.StructuralTable`.
+
+    Every error names the structural table section so a damaged file is
+    attributable: truncation inside the section, a per-document tag array
+    whose length disagrees with the directory's label table, and tag ids
+    pointing past the stored dictionary (a stale tag dictionary) are all
+    :class:`SnapshotFormatError`.
+    """
+    try:
+        marker = reader.varint()
+        if marker != _STRUCTURE_MARKER:
+            raise SnapshotFormatError(
+                f"malformed snapshot: structural table section has marker "
+                f"{marker:#x}, expected {_STRUCTURE_MARKER:#x}"
+            )
+        tag_count = reader.varint()
+        tag_names = [reader.string() for _ in range(tag_count)]
+        doc_tag_ids = [reader.u32_array() for _ in doc_ids]
+    except SnapshotFormatError as exc:
+        raise SnapshotFormatError(
+            f"truncated snapshot: structural table section is damaged ({exc})"
+        ) from None
+
+    tags = TagDictionary()
+    for tag in tag_names:
+        tags.intern(tag)
+    documents: Dict[str, DocumentStructure] = {}
+    for doc_id, tag_ids in zip(doc_ids, doc_tag_ids):
+        labels = doc_labels[doc_id]
+        if len(tag_ids) != len(labels):
+            raise SnapshotFormatError(
+                f"malformed snapshot: structural table of document {doc_id!r} has "
+                f"{len(tag_ids)} tags for {len(labels)} elements"
+            )
+        for tag_id in tag_ids:
+            if tag_id >= tag_count:
+                raise SnapshotFormatError(
+                    f"corrupt snapshot: structural table of document {doc_id!r} refers "
+                    f"to tag id {tag_id}, but its tag dictionary is stale "
+                    f"(holds {tag_count} tags)"
+                )
+        try:
+            documents[doc_id] = DocumentStructure.from_labels(labels, tag_ids)
+        except StructureError as exc:
+            raise SnapshotFormatError(
+                f"malformed snapshot: structural table of document {doc_id!r} is "
+                f"inconsistent ({exc})"
+            ) from None
+    return StructuralTable.restore(loader, tags, documents)
+
+
+# --------------------------------------------------------------------------- #
 # v2 document directory
 # --------------------------------------------------------------------------- #
 def _read_directory_entry(reader: _Reader) -> Tuple[DocumentRecord, List[DeweyLabel]]:
@@ -885,11 +993,17 @@ def _build_payload_v2(corpus: "Corpus", *, compress: bool) -> Tuple[bytes, bytes
     doc_ids = corpus.store.document_ids()
     doc_refs = {doc_id: position for position, doc_id in enumerate(doc_ids)}
     label_indices: Dict[str, Dict[DeweyLabel, int]] = {}
+    section_tags: Dict[str, int] = {}
+    doc_tag_ids: Dict[str, List[int]] = {}
     records = bytearray()
     writer.varint(len(doc_ids))
     for document in corpus.store:
         tree_writer = _Writer()
-        label_index = _encode_tree(tree_writer, document.root)
+        tag_names: List[str] = []
+        label_index = _encode_tree(tree_writer, document.root, tag_names)
+        doc_tag_ids[document.doc_id] = [
+            section_tags.setdefault(tag, len(section_tags)) for tag in tag_names
+        ]
         raw = tree_writer.getvalue()
         stored = raw
         flags = 0
@@ -919,6 +1033,7 @@ def _build_payload_v2(corpus: "Corpus", *, compress: bool) -> Tuple[bytes, bytes
 
     _write_index(writer, corpus.index, doc_refs, label_indices)
     _write_statistics(writer, corpus.statistics)
+    _write_structure(writer, doc_ids, doc_tag_ids, list(section_tags))
     return writer.getvalue(), bytes(records)
 
 
@@ -1238,8 +1353,18 @@ def _load_v2(
 
     index = _read_index(reader, dictionary, doc_ids, doc_labels)
     statistics = _read_statistics(reader, dictionary)
+
+    def document_root(doc_id: str) -> XMLNode:
+        return store.get(doc_id).root
+
+    # The structural section is the optional tail of the head: files written
+    # before it existed end right here, and fall back to an empty lazy table
+    # (recompute on demand — same behaviour as a fresh build).
+    structure: Optional[StructuralTable] = None
     if not reader.at_end():
-        raise SnapshotFormatError("malformed snapshot: trailing bytes inside payload")
+        structure = _read_structure_section(reader, doc_ids, doc_labels, document_root)
+        if not reader.at_end():
+            raise SnapshotFormatError("malformed snapshot: trailing bytes inside payload")
     return Corpus._restore(
         store=store,
         dictionary=dictionary,
@@ -1247,6 +1372,7 @@ def _load_v2(
         statistics=statistics,
         name=header.name,
         version=header.corpus_version,
+        structure=structure,
     )
 
 

@@ -70,7 +70,23 @@ class TestParser:
     def test_semantics_flag(self):
         arguments = build_parser().parse_args(["search", "--query", "gps", "--semantics", "elca"])
         assert arguments.semantics == "elca"
-        assert build_parser().parse_args(["search", "--query", "gps"]).semantics == "slca"
+        # Unspecified stays None at parse time: the command resolves it to
+        # "slca", or "slca_struct" when a structural constraint is present.
+        assert build_parser().parse_args(["search", "--query", "gps"]).semantics is None
+
+    def test_structural_flags(self):
+        arguments = build_parser().parse_args(
+            [
+                "search", "--query", "gps",
+                "--within", "product", "--within", "reviews/review",
+                "--axis", "descendant", "--axis-tag", "pros",
+            ]
+        )
+        assert arguments.within == ["product", "reviews/review"]
+        assert arguments.axis == "descendant"
+        assert arguments.axis_tag == "pros"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--query", "gps", "--axis", "sideways"])
 
     def test_explicit_corpus_source_conflicts_rejected(self):
         # Regression: --dataset used to be silently ignored when --corpus-dir

@@ -6,6 +6,7 @@ pagination (the second request must be served from the engine cache),
 compare via POST, the health and stats endpoints, and the error mapping.
 """
 
+import gzip
 import json
 import threading
 import urllib.error
@@ -228,6 +229,140 @@ class TestOperationalEndpoints:
             results = list(pool.map(fetch, range(12)))
         first = results[0]
         assert all(result == first for result in results)
+
+
+class TestStructuredSearch:
+    def test_structured_query_end_to_end(self, base_url):
+        status, payload = get_json(
+            f"{base_url}/search?q=gps&within=product&axis=descendant&axis_tag=review&page_size=5"
+        )
+        assert status == 200
+        assert payload["semantics"] == "slca_struct"
+        assert payload["total"] > 0
+        assert payload["items"]
+
+    def test_within_alone_defaults_to_structural_semantics(self, base_url):
+        status, payload = get_json(f"{base_url}/search?q=gps&within=product&page_size=1")
+        assert status == 200
+        assert payload["semantics"] == "slca_struct"
+
+    def test_within_repeats_and_tag_paths_agree(self, base_url):
+        _, slash = get_json(f"{base_url}/search?q=gps&within=reviews/review&page_size=100")
+        _, repeats = get_json(
+            f"{base_url}/search?q=gps&within=reviews&within=review&page_size=100"
+        )
+        assert slash["items"] == repeats["items"]
+        assert slash["total"] == repeats["total"]
+
+    def test_structured_cursor_walk_over_the_wire(self, base_url):
+        _, first = get_json(
+            f"{base_url}/search?q=gps&within=product&axis=descendant&axis_tag=review&page_size=1"
+        )
+        assert first["semantics"] == "slca_struct"
+        cursor = urllib.parse.quote(first["next_cursor"])
+        _, second = get_json(f"{base_url}/search?cursor={cursor}")
+        assert second["semantics"] == "slca_struct"
+        assert second["offset"] == 1
+        assert second["items"][0]["result_id"] == "R2"
+
+    def test_invalid_axis_rejected(self, base_url):
+        code, payload = error_response(
+            lambda: get_json(f"{base_url}/search?q=gps&axis=sideways&axis_tag=review")
+        )
+        assert code == 400
+        assert payload["error"]["type"] == "QueryError"
+
+    def test_bad_within_path_rejected(self, base_url):
+        code, payload = error_response(
+            lambda: get_json(f"{base_url}/search?q=gps&within=a//b")
+        )
+        assert code == 400
+        assert payload["error"]["type"] == "QueryError"
+
+    def test_slca_with_constraints_rejected(self, base_url):
+        code, payload = error_response(
+            lambda: get_json(f"{base_url}/search?q=gps&within=product&semantics=slca")
+        )
+        assert code == 400
+        assert payload["error"]["type"] == "SearchError"
+        assert "structural constraints" in payload["error"]["message"]
+
+    def test_etag_varies_with_constraints(self, base_url):
+        _, plain_tag, _ = conditional_get(f"{base_url}/search?q=gps")
+        _, constrained_tag, _ = conditional_get(f"{base_url}/search?q=gps&within=product")
+        assert plain_tag != constrained_tag
+        assert "slca_struct" in constrained_tag
+
+
+def raw_get(url, headers=None):
+    """GET without urllib's transparent handling: (status, headers, raw body)."""
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestGzipNegotiation:
+    LARGE = "/search?q=gps&page_size=100"
+
+    def test_gzip_applied_when_accepted(self, base_url):
+        _, _, identity = raw_get(f"{base_url}{self.LARGE}")
+        assert len(identity) >= 256  # big enough to qualify for compression
+        status, headers, body = raw_get(
+            f"{base_url}{self.LARGE}", headers={"Accept-Encoding": "gzip"}
+        )
+        assert status == 200
+        assert headers["Content-Encoding"] == "gzip"
+        assert headers["Content-Length"] == str(len(body))
+        assert len(body) < len(identity)
+        assert gzip.decompress(body) == identity
+
+    def test_identity_without_accept_encoding(self, base_url):
+        _, headers, body = raw_get(f"{base_url}{self.LARGE}")
+        assert headers.get("Content-Encoding") is None
+        json.loads(body)  # readable as-is
+
+    def test_vary_header_always_present(self, base_url):
+        _, plain_headers, _ = raw_get(f"{base_url}{self.LARGE}")
+        assert plain_headers["Vary"] == "Accept-Encoding"
+        _, gzip_headers, _ = raw_get(
+            f"{base_url}{self.LARGE}", headers={"Accept-Encoding": "gzip"}
+        )
+        assert gzip_headers["Vary"] == "Accept-Encoding"
+
+    def test_qvalue_zero_disables_gzip(self, base_url):
+        _, headers, _ = raw_get(
+            f"{base_url}{self.LARGE}", headers={"Accept-Encoding": "gzip;q=0"}
+        )
+        assert headers.get("Content-Encoding") is None
+
+    def test_positive_qvalue_and_x_gzip_accepted(self, base_url):
+        for accept in ("gzip;q=0.5", "x-gzip", "deflate, gzip;q=0.8, br"):
+            _, headers, _ = raw_get(
+                f"{base_url}{self.LARGE}", headers={"Accept-Encoding": accept}
+            )
+            assert headers["Content-Encoding"] == "gzip", accept
+
+    def test_wildcard_is_not_gzip_consent(self, base_url):
+        _, headers, _ = raw_get(
+            f"{base_url}{self.LARGE}", headers={"Accept-Encoding": "*"}
+        )
+        assert headers.get("Content-Encoding") is None
+
+    def test_small_bodies_stay_identity(self, base_url):
+        status, headers, body = raw_get(
+            f"{base_url}/healthz", headers={"Accept-Encoding": "gzip"}
+        )
+        assert status == 200
+        assert len(body) < 256
+        assert headers.get("Content-Encoding") is None
+        assert json.loads(body)["status"] == "ok"
+
+    def test_compression_is_deterministic(self, base_url):
+        bodies = {
+            raw_get(f"{base_url}{self.LARGE}", headers={"Accept-Encoding": "gzip"})[2]
+            for _ in range(3)
+        }
+        assert len(bodies) == 1  # mtime=0: byte-identical across responses
 
 
 def conditional_get(url, etag=None):

@@ -1,0 +1,768 @@
+"""Tests for the structural index subsystem.
+
+Three layers of guarantees are pinned here:
+
+* **Encoding differentials** — the pre/post interval predicates, window
+  scans and LCA of :class:`~repro.structure.encoding.DocumentStructure`
+  agree with a brute-force Dewey-label oracle on hypothesis-generated trees.
+* **Semantics differentials** — ``slca_struct`` returns exactly what
+  ``slca`` returns on pure keyword queries, on single corpora and through
+  the sharded fan-out at every shard count, down to wire-level cursors.
+* **Snapshot battery** — the v2 structural section round-trips (restored,
+  not recomputed), files without the section fall back to lazy computation,
+  and corrupted sections raise typed errors naming the damaged section.
+"""
+
+import io
+import json
+import struct
+import zlib
+from base64 import urlsafe_b64decode, urlsafe_b64encode
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main as cli_main
+from repro.errors import (
+    InvalidCursorError,
+    QueryError,
+    SearchError,
+    SnapshotFormatError,
+    StructureError,
+)
+from repro.search.engine import SearchEngine
+from repro.search.query import KeywordQuery
+from repro.search.semantics import MatchContext
+from repro.search.sharded_engine import ShardedSearchEngine
+from repro.search.structural import StructuredQuery, compute_slca_struct, parse_tag_path
+from repro.service.cursor import decode_cursor, encode_cursor
+from repro.service.protocol import SearchRequest
+from repro.service.service import SearchService
+from repro.storage.corpus import Corpus
+from repro.storage.document_store import DocumentStore
+from repro.storage.inverted_index import Posting
+from repro.storage.sharded import ShardedCorpus
+from repro.storage.snapshot import (
+    FORMAT_VERSION_V2,
+    _HEADER_V2,
+    _MAGIC,
+    _Writer,
+    _write_structure,
+    save_corpus,
+)
+from repro.structure import DocumentStructure, TagDictionary
+from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.dewey import DeweyLabel
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import serialize
+
+SHARD_COUNTS = (1, 2, 3, 7)
+# Same vocabulary as test_sharded: tag names are indexed terms, so every
+# generated corpus can match these.
+QUERIES = ("product", "review name", "item movie", "rating pros product")
+
+tag_names = st.sampled_from(["product", "review", "name", "pros", "rating", "item", "movie"])
+text_values = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F),
+    min_size=0,
+    max_size=12,
+)
+
+
+@st.composite
+def xml_trees(draw, max_depth: int = 3):
+    builder = TreeBuilder(draw(tag_names))
+    _fill(draw, builder, depth=0, max_depth=max_depth)
+    return builder.finish()
+
+
+def _fill(draw, builder, depth, max_depth):
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        if depth >= max_depth or draw(st.booleans()):
+            builder.leaf(draw(tag_names), draw(text_values) or "xx")
+        else:
+            with builder.element(draw(tag_names)):
+                _fill(draw, builder, depth + 1, max_depth)
+
+
+@st.composite
+def corpus_documents(draw, min_size: int = 0, max_size: int = 6):
+    trees = draw(st.lists(xml_trees(), min_size=min_size, max_size=max_size))
+    return [(f"doc-{position}", tree) for position, tree in enumerate(trees)]
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def build_single(documents, name="single"):
+    store = DocumentStore()
+    for doc_id, tree in documents:
+        store.add(doc_id, tree)
+    return Corpus(store, name=name)
+
+
+def fingerprint(results):
+    """Everything observable about a ranked result list, byte for byte."""
+    return [
+        (
+            result.result_id,
+            result.doc_id,
+            str(result.match_label),
+            str(result.return_label),
+            result.score,
+            result.title,
+            serialize(result.subtree),
+        )
+        for result in results
+    ]
+
+
+# A fixed corpus where every structural constraint has a hand-checkable
+# answer.  "gps" matches the <name> and first <pros> of doc-a, the <pros>
+# of doc-b, and the <title> of doc-c.
+STRUCT_XML = {
+    "doc-a": (
+        "<product><name>alpha gps</name>"
+        "<reviews>"
+        "<review><pros>bright gps screen</pros><cons>dim buttons</cons></review>"
+        "<review><pros>cheap mount</pros></review>"
+        "</reviews></product>"
+    ),
+    "doc-b": (
+        "<product><name>beta radio</name>"
+        "<reviews><review><pros>loud gps alerts</pros></review></reviews>"
+        "</product>"
+    ),
+    "doc-c": "<movie><title>gamma gps story</title><rating>good</rating></movie>",
+}
+
+
+def struct_documents():
+    return [(doc_id, parse_xml(markup)) for doc_id, markup in STRUCT_XML.items()]
+
+
+def struct_corpus(name="structured"):
+    return build_single(struct_documents(), name=name)
+
+
+def match_tags(corpus, results):
+    """The element tag of every match, resolved through the structural index."""
+    tags = []
+    for result in results:
+        structure = corpus.structure.get(result.doc_id)
+        pre = structure.pre_of(result.match_label)
+        tags.append(corpus.structure.tags.tag(structure.tag_ids[pre]))
+    return tags
+
+
+def struct_search(corpus, query):
+    return SearchEngine(corpus, semantics="slca_struct", cache_size=0).search(query)
+
+
+# --------------------------------------------------------------------------- #
+# Encoding ≡ Dewey oracle
+# --------------------------------------------------------------------------- #
+class TestEncodingDifferential:
+    @given(tree=xml_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_interval_predicates_match_dewey_oracle(self, tree):
+        structure = DocumentStructure.from_tree(tree, TagDictionary())
+        labels = structure.labels
+        count = len(labels)
+        assert sorted(structure.post) == list(range(count))  # post is a permutation
+        for a in range(count):
+            assert structure.level[a] == len(labels[a])
+            assert structure.pre_of(labels[a]) == a
+            if structure.parent[a] == -1:
+                assert labels[a].is_root
+            else:
+                assert labels[structure.parent[a]] == labels[a].parent()
+            descendants = sum(1 for b in range(count) if labels[b].is_descendant_of(labels[a]))
+            assert structure.end[a] - a == 1 + descendants  # window = subtree
+            for b in range(count):
+                assert structure.is_descendant(a, b) == labels[a].is_descendant_of(labels[b])
+                assert structure.is_ancestor(a, b) == labels[a].is_ancestor_of(labels[b])
+                assert labels[structure.lca(a, b)] == labels[a].lca(labels[b])
+
+    @given(tree=xml_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_window_scans_match_prefix_walk(self, tree):
+        tags = TagDictionary()
+        structure = DocumentStructure.from_tree(tree, tags)
+        labels = structure.labels
+        count = len(labels)
+        for pre in range(count):
+            for tag in tags:
+                tag_id = tags.lookup(tag)
+                walk = [
+                    b
+                    for b in range(count)
+                    if structure.tag_ids[b] == tag_id and labels[b].is_descendant_of(labels[pre])
+                ]
+                assert structure.descendants_with_tag(pre, tag_id) == walk
+                children = [b for b in walk if len(labels[b]) == len(labels[pre]) + 1]
+                assert structure.children_with_tag(pre, tag_id) == children
+                ancestors = [
+                    b
+                    for b in range(count)
+                    if structure.tag_ids[b] == tag_id and labels[b].is_ancestor_of(labels[pre])
+                ]
+                nearest = max(ancestors, key=lambda b: structure.level[b], default=None)
+                assert structure.nearest_ancestor_with_tag(pre, tag_id) == nearest
+
+    @given(tree=xml_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_from_labels_reproduces_from_tree(self, tree):
+        # The snapshot-restore path: labels + tag ids alone rebuild the
+        # identical encoding.
+        built = DocumentStructure.from_tree(tree, TagDictionary())
+        derived = DocumentStructure.from_labels(built.labels, built.tag_ids)
+        assert derived.signature() == built.signature()
+        assert derived.end == built.end
+
+    def test_from_labels_rejects_malformed_tables(self):
+        root = DeweyLabel.root()
+        with pytest.raises(StructureError, match="label table has"):
+            DocumentStructure.from_labels([root], [0, 1])
+        with pytest.raises(StructureError, match="first label must be the document root"):
+            DocumentStructure.from_labels([DeweyLabel((0,))], [0])
+        with pytest.raises(StructureError, match="not a pre-order walk"):
+            DocumentStructure.from_labels([root, DeweyLabel((0, 0))], [0, 0])
+        with pytest.raises(StructureError, match="not single-rooted"):
+            DocumentStructure.from_labels([root, root], [0, 0])
+
+    def test_pre_of_unknown_label_is_an_error(self):
+        structure = DocumentStructure.from_tree(parse_xml("<a><b>x</b></a>"), TagDictionary())
+        with pytest.raises(StructureError, match="no element at label"):
+            structure.pre_of(DeweyLabel((99,)))
+
+    def test_direct_construction_is_blocked(self):
+        with pytest.raises(StructureError, match="from_tree or"):
+            DocumentStructure()
+
+    def test_tag_dictionary(self):
+        tags = TagDictionary()
+        assert tags.intern("product") == 0
+        assert tags.intern("review") == 1
+        assert tags.intern("product") == 0  # idempotent
+        assert tags.lookup("review") == 1
+        assert tags.lookup("absent") is None
+        assert tags.tag(1) == "review"
+        assert "product" in tags and "absent" not in tags
+        assert list(tags) == ["product", "review"]
+        assert len(tags) == 2
+        with pytest.raises(StructureError, match="not in the dictionary"):
+            tags.tag(2)
+
+
+# --------------------------------------------------------------------------- #
+# StructuredQuery parsing and validation
+# --------------------------------------------------------------------------- #
+class TestStructuredQuery:
+    def test_parse_tag_path(self):
+        assert parse_tag_path("product") == ("product",)
+        assert parse_tag_path("reviews/review") == ("reviews", "review")
+        for bad in ("", "/review", "review/", "a//b"):
+            with pytest.raises(QueryError, match="invalid tag path"):
+                parse_tag_path(bad)
+
+    def test_axis_validation(self):
+        with pytest.raises(QueryError, match="unknown axis"):
+            StructuredQuery.from_parts("gps", axis="sideways", axis_tag="review")
+        with pytest.raises(QueryError, match="does not take an axis tag"):
+            StructuredQuery.from_parts("gps", axis="self", axis_tag="review")
+        for axis in ("child", "descendant", "ancestor"):
+            with pytest.raises(QueryError, match="requires an axis tag"):
+                StructuredQuery.from_parts("gps", axis=axis)
+        with pytest.raises(QueryError, match="axis_tag given without an axis"):
+            StructuredQuery.from_parts("gps", axis_tag="review")
+        with pytest.raises(QueryError, match="empty tag name"):
+            StructuredQuery.from_parts("gps", within=("product", ""))
+
+    def test_has_constraints(self):
+        assert not StructuredQuery.from_parts("gps").has_constraints
+        assert StructuredQuery.from_parts("gps", within=("pros",)).has_constraints
+        assert StructuredQuery.from_parts("gps", axis="self").has_constraints
+
+    def test_cache_key_markers(self):
+        plain = KeywordQuery.parse("gps camera")
+        free = StructuredQuery.from_parts("gps camera")
+        # Constraint-free structured queries share the plain cache entry.
+        assert free.cache_key == plain.cache_key
+        constrained = StructuredQuery.from_parts(
+            "gps camera", within=("reviews", "review"), axis="descendant", axis_tag="pros"
+        )
+        assert constrained.cache_key == plain.cache_key + (
+            "@within:reviews",
+            "@within:review",
+            "@axis:descendant:pros",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# slca_struct ≡ slca on pure keyword queries
+# --------------------------------------------------------------------------- #
+class TestSemanticsDifferential:
+    @given(documents=corpus_documents())
+    @settings(max_examples=25, deadline=None)
+    def test_pure_keyword_queries_match_slca(self, documents):
+        corpus = build_single(documents)
+        reference = SearchEngine(corpus, semantics="slca", cache_size=0)
+        structural = SearchEngine(corpus, semantics="slca_struct", cache_size=0)
+        for query in QUERIES:
+            assert fingerprint(structural.search(query)) == fingerprint(reference.search(query))
+
+    @pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+    @given(documents=corpus_documents())
+    @settings(max_examples=8, deadline=None)
+    def test_sharded_fanout_matches_single_slca(self, shard_count, documents):
+        reference = SearchEngine(build_single(documents), semantics="slca", cache_size=0)
+        fanout = ShardedSearchEngine(
+            ShardedCorpus.build(documents, shard_count), semantics="slca_struct", cache_size=0
+        )
+        try:
+            for query in QUERIES:
+                assert fingerprint(fanout.search(query)) == fingerprint(reference.search(query))
+        finally:
+            fanout.close()
+
+    def test_axis_self_equals_unconstrained(self):
+        corpus = struct_corpus()
+        forced = struct_search(corpus, StructuredQuery.from_parts("gps", axis="self"))
+        plain = SearchEngine(corpus, semantics="slca", cache_size=0).search("gps")
+        assert fingerprint(forced) == fingerprint(plain)
+
+
+# --------------------------------------------------------------------------- #
+# Constraint evaluation on the hand-checkable corpus
+# --------------------------------------------------------------------------- #
+class TestConstraints:
+    def test_within_reanchors_to_pros(self):
+        corpus = struct_corpus()
+        results = struct_search(corpus, StructuredQuery.from_parts("gps", within=("pros",)))
+        assert match_tags(corpus, results) == ["pros", "pros"]
+        assert {result.doc_id for result in results} == {"doc-a", "doc-b"}
+
+    def test_within_path_is_a_suffix_match(self):
+        corpus = struct_corpus()
+        results = struct_search(
+            corpus, StructuredQuery.from_parts("gps", within=("reviews", "review"))
+        )
+        assert match_tags(corpus, results) == ["review", "review"]
+
+    def test_descendant_axis(self):
+        corpus = struct_corpus()
+        results = struct_search(
+            corpus,
+            StructuredQuery.from_parts(
+                "gps", within=("product",), axis="descendant", axis_tag="review"
+            ),
+        )
+        # doc-a has two reviews below its product, doc-b one; doc-c has no
+        # product element at all and is dropped by the within filter.
+        assert match_tags(corpus, results) == ["review", "review", "review"]
+        assert {result.doc_id for result in results} == {"doc-a", "doc-b"}
+
+    def test_child_axis_is_direct_children_only(self):
+        corpus = struct_corpus()
+        children = struct_search(
+            corpus,
+            StructuredQuery.from_parts("gps", within=("product",), axis="child", axis_tag="reviews"),
+        )
+        assert match_tags(corpus, children) == ["reviews", "reviews"]
+        grandchildren = struct_search(
+            corpus,
+            StructuredQuery.from_parts("gps", within=("product",), axis="child", axis_tag="review"),
+        )
+        assert fingerprint(grandchildren) == []  # reviews are grandchildren
+
+    def test_ancestor_axis(self):
+        corpus = struct_corpus()
+        results = struct_search(
+            corpus,
+            StructuredQuery.from_parts("gps", within=("pros",), axis="ancestor", axis_tag="review"),
+        )
+        assert match_tags(corpus, results) == ["review", "review"]
+
+    def test_unknown_tags_yield_empty_results(self):
+        corpus = struct_corpus()
+        assert fingerprint(struct_search(corpus, StructuredQuery.from_parts("gps", within=("warranty",)))) == []
+        assert (
+            fingerprint(
+                struct_search(
+                    corpus,
+                    StructuredQuery.from_parts("gps", axis="descendant", axis_tag="warranty"),
+                )
+            )
+            == []
+        )
+
+    @pytest.mark.parametrize("semantics", ("slca", "elca"))
+    def test_structure_blind_semantics_reject_constraints(self, semantics):
+        engine = SearchEngine(struct_corpus(), semantics=semantics, cache_size=0)
+        with pytest.raises(SearchError, match="ignores structural constraints"):
+            engine.search(StructuredQuery.from_parts("gps", within=("pros",)))
+
+    def test_constraint_free_structured_query_works_everywhere(self):
+        engine = SearchEngine(struct_corpus(), semantics="slca", cache_size=0)
+        assert fingerprint(engine.search(StructuredQuery.from_parts("gps"))) == fingerprint(
+            engine.search("gps")
+        )
+
+    def test_corpus_without_structural_table_is_an_error(self):
+        context = MatchContext(corpus=object(), query=KeywordQuery.parse("gps"))
+        postings = [[Posting(doc_id="d", label=DeweyLabel.root())]]
+        with pytest.raises(SearchError, match="structural table"):
+            compute_slca_struct(postings, context)
+
+
+# --------------------------------------------------------------------------- #
+# Service, cursors and the wire protocol
+# --------------------------------------------------------------------------- #
+class TestServiceStructured:
+    def test_default_semantics_resolution(self):
+        service = SearchService(struct_corpus())
+        plain = service.search(SearchRequest(query="gps"))
+        assert plain.semantics == "slca"
+        constrained = service.search(SearchRequest(query="gps", within=("pros",)))
+        assert constrained.semantics == "slca_struct"
+        assert constrained.total == 2
+
+    def test_within_entries_flatten_through_tag_paths(self):
+        service = SearchService(struct_corpus())
+        slash = service.search(SearchRequest(query="gps", within=("reviews/review",)))
+        steps = service.search(SearchRequest(query="gps", within=("reviews", "review")))
+        assert slash.to_dict() == steps.to_dict()
+
+    def test_cursor_walk_preserves_constraints(self):
+        service = SearchService(struct_corpus())
+        request = SearchRequest(
+            query="gps", within=("product",), axis="descendant", axis_tag="review", page_size=1
+        )
+        full = service.search(
+            SearchRequest(
+                query="gps", within=("product",), axis="descendant", axis_tag="review",
+                page_size=10,
+            )
+        )
+        walked = []
+        response = service.search(request)
+        for _ in range(10):
+            assert response.semantics == "slca_struct"
+            walked.extend(item.to_dict() for item in response.items)
+            if response.next_cursor is None:
+                break
+            # Continuation by cursor alone: the constraints travel in the token.
+            response = service.search(SearchRequest(cursor=response.next_cursor))
+        assert walked == [item.to_dict() for item in full.items]
+
+    def test_cursor_and_request_constraint_mismatch_rejected(self):
+        service = SearchService(struct_corpus())
+        first = service.search(SearchRequest(query="gps", within=("product",), page_size=1))
+        assert first.next_cursor is not None
+        with pytest.raises(InvalidCursorError):
+            service.search(SearchRequest(cursor=first.next_cursor, within=("movie",)))
+        # Restating the *same* constraints alongside the cursor is fine.
+        follow_up = service.search(
+            SearchRequest(cursor=first.next_cursor, query="gps", within=("product",))
+        )
+        assert follow_up.offset == 1
+
+    @pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+    def test_structured_walk_is_shard_transparent(self, shard_count):
+        documents = struct_documents()
+        single = SearchService(build_single(documents))
+        sharded = SearchService(ShardedCorpus.build(documents, shard_count))
+        request = SearchRequest(
+            query="gps", within=("product",), axis="descendant", axis_tag="review", page_size=1
+        )
+        expected = single.search(request)
+        actual = sharded.search(request)
+        for _ in range(10):
+            assert actual.to_dict() == expected.to_dict()
+            if expected.next_cursor is None:
+                break
+            assert actual.next_cursor == expected.next_cursor
+            expected = single.search(SearchRequest(cursor=expected.next_cursor))
+            actual = sharded.search(SearchRequest(cursor=actual.next_cursor))
+
+    @pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+    def test_structured_engine_results_are_shard_transparent(self, shard_count):
+        documents = struct_documents()
+        reference = SearchEngine(build_single(documents), semantics="slca_struct", cache_size=0)
+        fanout = ShardedSearchEngine(
+            ShardedCorpus.build(documents, shard_count), semantics="slca_struct", cache_size=0
+        )
+        query = StructuredQuery.from_parts(
+            "gps", within=("product",), axis="descendant", axis_tag="review"
+        )
+        try:
+            assert fingerprint(fanout.search(query)) == fingerprint(reference.search(query))
+        finally:
+            fanout.close()
+
+    def test_cursor_round_trip_with_constraints(self):
+        token = encode_cursor(
+            ("gps",), "slca_struct", 3, 1, 5, 2,
+            within=("reviews", "review"), axis="ancestor", axis_tag="product",
+        )
+        cursor = decode_cursor(token)
+        assert cursor.within == ("reviews", "review")
+        assert cursor.axis == "ancestor"
+        assert cursor.axis_tag == "product"
+        assert (cursor.offset, cursor.page_size, cursor.semantics) == (3, 5, "slca_struct")
+
+    def test_unconstrained_cursor_keeps_the_old_wire_format(self):
+        token = encode_cursor(("gps",), "slca", 1, 0, 10, 0)
+        payload = json.loads(urlsafe_b64decode(token.encode("ascii")))
+        assert set(payload) == {"v", "k", "s", "o", "cv", "ps", "sg"}  # no new keys
+        cursor = decode_cursor(token)
+        assert cursor.within == () and cursor.axis is None and cursor.axis_tag is None
+
+    def test_malformed_constraint_fields_rejected(self):
+        token = encode_cursor(("gps",), "slca", 0, 0, 10, 0)
+        payload = json.loads(urlsafe_b64decode(token.encode("ascii")))
+        for damage in ({"w": "pros"}, {"w": ["pros", ""]}, {"a": 7}, {"at": ["x"]}):
+            broken = dict(payload, **damage)
+            encoded = urlsafe_b64encode(
+                json.dumps(broken, separators=(",", ":")).encode("utf-8")
+            ).decode("ascii")
+            with pytest.raises(InvalidCursorError):
+                decode_cursor(encoded)
+
+    def test_search_request_codec_round_trip(self):
+        request = SearchRequest(
+            query="gps", within=("reviews/review",), axis="descendant", axis_tag="pros"
+        )
+        data = request.to_dict()
+        assert data["within"] == ["reviews/review"]
+        assert data["axis"] == "descendant"
+        assert data["axis_tag"] == "pros"
+        assert SearchRequest.from_dict(data) == request
+        # Plain requests keep the pre-structural wire shape.
+        plain = SearchRequest(query="gps").to_dict()
+        assert "within" not in plain and "axis" not in plain and "axis_tag" not in plain
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot persistence: round-trip, fallback, corruption battery
+# --------------------------------------------------------------------------- #
+def carve_v2(data):
+    """Split a v2 snapshot into (corpus_version, name_bytes, head, records)."""
+    magic = len(_MAGIC)
+    fields = _HEADER_V2.unpack_from(data, magic)
+    name_start = magic + _HEADER_V2.size
+    name_bytes = data[name_start : name_start + fields[5]]
+    body_start = name_start + fields[5] + 4  # + header crc32
+    head = data[body_start : body_start + fields[3]]
+    records = data[body_start + fields[3] :]
+    assert len(records) == fields[4]
+    return fields[1], name_bytes, head, records
+
+
+def forge_v2(corpus_version, name_bytes, head, records):
+    """Reassemble a v2 snapshot with recomputed checksums."""
+    header = _MAGIC + _HEADER_V2.pack(
+        FORMAT_VERSION_V2,
+        corpus_version,
+        zlib.crc32(head),
+        len(head),
+        len(records),
+        len(name_bytes),
+    ) + name_bytes
+    header += struct.pack("<I", zlib.crc32(header))
+    return header + head + records
+
+
+def structure_section(corpus):
+    """Reproduce the structural section bytes exactly as save_corpus writes them."""
+    doc_ids = corpus.store.document_ids()
+    section_tags = {}
+    doc_tag_ids = {}
+    for document in corpus.store:
+        doc_tag_ids[document.doc_id] = [
+            section_tags.setdefault(node.tag or "", len(section_tags))
+            for node in document.root.iter_elements()
+        ]
+    writer = _Writer()
+    _write_structure(writer, doc_ids, doc_tag_ids, list(section_tags))
+    return writer.getvalue(), doc_ids, doc_tag_ids, list(section_tags)
+
+
+def portable_signature(corpus, doc_id):
+    """The per-element encoding with tag *names* (ids are table-local)."""
+    structure = corpus.structure.get(doc_id)
+    tags = corpus.structure.tags
+    return [
+        (
+            str(structure.labels[pre]),
+            structure.post[pre],
+            structure.level[pre],
+            structure.parent[pre],
+            tags.tag(structure.tag_ids[pre]),
+        )
+        for pre in range(len(structure))
+    ]
+
+
+STRUCT_QUERY = StructuredQuery.from_parts(
+    "gps", within=("product",), axis="descendant", axis_tag="review"
+)
+
+
+class TestSnapshotStructure:
+    def test_v2_round_trip_restores_structures(self, tmp_path):
+        corpus = struct_corpus()
+        path = tmp_path / "s.snap"
+        save_corpus(corpus, path)
+        loaded = Corpus.load(path)
+        stats = loaded.structure.stats()
+        assert stats["restored"] == len(corpus.store)
+        assert stats["computed"] == 0
+        for doc_id in corpus.store.document_ids():
+            assert portable_signature(loaded, doc_id) == portable_signature(corpus, doc_id)
+        # Reading the restored structures computes nothing.
+        assert loaded.structure.stats()["computed"] == 0
+        assert fingerprint(struct_search(loaded, STRUCT_QUERY)) == fingerprint(
+            struct_search(corpus, STRUCT_QUERY)
+        )
+
+    def test_compressed_v2_round_trip_restores_structures(self, tmp_path):
+        corpus = struct_corpus()
+        path = tmp_path / "c.snap"
+        save_corpus(corpus, path, compress=True)
+        loaded = Corpus.load(path)
+        assert loaded.structure.stats()["restored"] == len(corpus.store)
+
+    def test_v1_files_fall_back_to_lazy_computation(self, tmp_path):
+        corpus = struct_corpus()
+        path = tmp_path / "v1.snap"
+        save_corpus(corpus, path, format=1)
+        loaded = Corpus.load(path)
+        assert loaded.structure.stats() == {"documents": 0, "computed": 0, "restored": 0, "tags": 0}
+        assert fingerprint(struct_search(loaded, STRUCT_QUERY)) == fingerprint(
+            struct_search(corpus, STRUCT_QUERY)
+        )
+        assert loaded.structure.stats()["computed"] > 0
+
+    def test_head_ends_with_the_structural_section(self, tmp_path):
+        corpus = struct_corpus()
+        path = tmp_path / "s.snap"
+        save_corpus(corpus, path)
+        _, _, head, _ = carve_v2(path.read_bytes())
+        section, _, _, _ = structure_section(corpus)
+        assert head.endswith(section)
+
+    def test_pre_section_files_load_with_lazy_fallback(self, tmp_path):
+        # A head that stops right after the statistics — byte-identical to a
+        # file written before the structural section existed.
+        corpus = struct_corpus()
+        path = tmp_path / "old.snap"
+        save_corpus(corpus, path)
+        version, name_bytes, head, records = carve_v2(path.read_bytes())
+        section, _, _, _ = structure_section(corpus)
+        stripped = tmp_path / "stripped.snap"
+        stripped.write_bytes(forge_v2(version, name_bytes, head[: -len(section)], records))
+        loaded = Corpus.load(stripped)
+        assert loaded.structure.stats()["restored"] == 0
+        assert fingerprint(struct_search(loaded, STRUCT_QUERY)) == fingerprint(
+            struct_search(corpus, STRUCT_QUERY)
+        )
+
+    def test_truncated_structural_section_names_the_section(self, tmp_path):
+        corpus = struct_corpus()
+        path = tmp_path / "s.snap"
+        save_corpus(corpus, path)
+        version, name_bytes, head, records = carve_v2(path.read_bytes())
+        damaged = tmp_path / "trunc.snap"
+        damaged.write_bytes(forge_v2(version, name_bytes, head[:-1], records))
+        with pytest.raises(SnapshotFormatError, match="structural table section is damaged"):
+            Corpus.load(damaged)
+
+    def test_stale_tag_dictionary_is_detected(self, tmp_path):
+        corpus = struct_corpus()
+        path = tmp_path / "s.snap"
+        save_corpus(corpus, path)
+        version, name_bytes, head, records = carve_v2(path.read_bytes())
+        section, doc_ids, doc_tag_ids, tags = structure_section(corpus)
+        # Re-encode the section with the last tag dropped from the dictionary
+        # while the per-document arrays still reference it.
+        writer = _Writer()
+        _write_structure(writer, doc_ids, doc_tag_ids, tags[:-1])
+        stale_head = head[: -len(section)] + writer.getvalue()
+        damaged = tmp_path / "stale.snap"
+        damaged.write_bytes(forge_v2(version, name_bytes, stale_head, records))
+        with pytest.raises(SnapshotFormatError, match="tag dictionary is stale"):
+            Corpus.load(damaged)
+
+    def test_corrupt_section_marker_is_detected(self, tmp_path):
+        corpus = struct_corpus()
+        path = tmp_path / "s.snap"
+        save_corpus(corpus, path)
+        version, name_bytes, head, records = carve_v2(path.read_bytes())
+        section, _, _, _ = structure_section(corpus)
+        flipped = bytes([section[0] ^ 0x01]) + section[1:]
+        damaged = tmp_path / "marker.snap"
+        damaged.write_bytes(forge_v2(version, name_bytes, head[: -len(section)] + flipped, records))
+        with pytest.raises(SnapshotFormatError, match="structural table section has marker"):
+            Corpus.load(damaged)
+
+    def test_mutation_after_load_uses_the_lazy_loader(self, tmp_path):
+        corpus = struct_corpus()
+        path = tmp_path / "s.snap"
+        save_corpus(corpus, path)
+        loaded = Corpus.load(path)
+        loaded.add_document(
+            "doc-d",
+            parse_xml(
+                "<product><name>delta gps</name>"
+                "<reviews><review><pros>sturdy</pros></review></reviews></product>"
+            ),
+        )
+        results = struct_search(loaded, STRUCT_QUERY)
+        assert "doc-d" in {result.doc_id for result in results}
+        stats = loaded.structure.stats()
+        assert stats["computed"] >= 1  # only the new document was computed
+
+
+# --------------------------------------------------------------------------- #
+# CLI end-to-end (structured query against a snapshot-loaded corpus)
+# --------------------------------------------------------------------------- #
+class TestCliStructured:
+    def test_structured_search_on_snapshot(self, tmp_path):
+        path = tmp_path / "cli.snap"
+        save_corpus(struct_corpus(), path)
+        out = io.StringIO()
+        code = cli_main(
+            [
+                "search", "--snapshot", str(path), "--query", "gps",
+                "--within", "product", "--axis", "descendant", "--axis-tag", "review",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "slca_struct" in text
+        assert "result(s) for query" in text
+
+    def test_axis_tag_without_axis_is_an_error(self, tmp_path):
+        path = tmp_path / "cli.snap"
+        save_corpus(struct_corpus(), path)
+        out = io.StringIO()
+        code = cli_main(
+            ["search", "--snapshot", str(path), "--query", "gps", "--axis-tag", "review"],
+            out=out,
+        )
+        assert code == 1
+        assert "--axis" in out.getvalue()
+
+    def test_bad_within_path_is_an_error(self, tmp_path):
+        path = tmp_path / "cli.snap"
+        save_corpus(struct_corpus(), path)
+        out = io.StringIO()
+        code = cli_main(
+            ["search", "--snapshot", str(path), "--query", "gps", "--within", "a//b"],
+            out=out,
+        )
+        assert code == 1
+        assert "invalid tag path" in out.getvalue()
