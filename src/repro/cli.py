@@ -179,6 +179,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="default /search page size (default: 10)",
     )
+    serve.add_argument(
+        "--writable",
+        action="store_true",
+        help="enable the mutation endpoints (POST/DELETE /documents); "
+        "read-only services answer them with 403",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=_positive_int,
+        default=None,
+        help="with --writable: re-snapshot the corpus in the background after every "
+        "N applied mutations (requires --snapshot-path or --snapshot)",
+    )
+    serve.add_argument(
+        "--snapshot-path",
+        default=None,
+        help="file the background re-snapshot writes to "
+        "(default: the --snapshot file the corpus was loaded from)",
+    )
     _add_shards_argument(serve)
 
     figure4 = subparsers.add_parser("figure4", help="regenerate the Figure 4 experiment")
@@ -344,6 +363,17 @@ def _command_compare(arguments: argparse.Namespace, out) -> int:
 
 def _command_serve(arguments: argparse.Namespace, out) -> int:
     corpus = _load_corpus(arguments)
+    snapshot_path = arguments.snapshot_path or arguments.snapshot
+    if arguments.snapshot_every is not None and not arguments.writable:
+        print("error: --snapshot-every needs --writable", file=out, flush=True)
+        return 2
+    if arguments.snapshot_every is not None and snapshot_path is None:
+        print(
+            "error: --snapshot-every needs --snapshot-path (or a --snapshot to reuse)",
+            file=out,
+            flush=True,
+        )
+        return 2
     # The service clamps per-request page sizes to max_page_size; widen the
     # ceiling when the operator asks for a default above it, instead of
     # rejecting the configuration at startup.
@@ -351,6 +381,9 @@ def _command_serve(arguments: argparse.Namespace, out) -> int:
         corpus,
         default_page_size=arguments.page_size,
         max_page_size=max(DEFAULT_MAX_PAGE_SIZE, arguments.page_size),
+        writable=arguments.writable,
+        snapshot_path=snapshot_path if arguments.snapshot_every is not None else None,
+        snapshot_every=arguments.snapshot_every,
     )
     server = create_server(service, host=arguments.host, port=arguments.port, out=out)
     host, port = server.server_address[:2]
@@ -358,9 +391,11 @@ def _command_serve(arguments: argparse.Namespace, out) -> int:
     backend = store_stats["backend"]
     if backend == "sharded":
         backend = f"sharded[{store_stats['shard_count']}]"
+    mode = "writable" if arguments.writable else "read-only"
     print(
-        f"serving corpus {corpus.name!r} ({len(corpus.store)} documents, {backend} store) "
-        f"on http://{host}:{port} — GET /search, POST /compare, GET /healthz, GET /stats",
+        f"serving corpus {corpus.name!r} ({len(corpus.store)} documents, {backend} store, "
+        f"{mode}) on http://{host}:{port} — GET /search, POST /compare, "
+        f"POST /documents, GET /healthz, GET /stats",
         file=out,
         flush=True,
     )

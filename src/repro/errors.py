@@ -15,6 +15,7 @@ __all__ = [
     "StructureError",
     "StorageError",
     "DocumentNotFoundError",
+    "DuplicateDocumentError",
     "IndexError_",
     "SnapshotError",
     "SnapshotFormatError",
@@ -25,6 +26,7 @@ __all__ = [
     "ServiceError",
     "ProtocolError",
     "InvalidCursorError",
+    "ReadOnlyServiceError",
     "EntityInferenceError",
     "FeatureExtractionError",
     "FeatureTypeParseError",
@@ -84,6 +86,20 @@ class DocumentNotFoundError(StorageError):
 
     def __init__(self, doc_id: str):
         super().__init__(f"document not found: {doc_id!r}")
+        self.doc_id = doc_id
+
+
+class DuplicateDocumentError(StorageError):
+    """Raised when adding a document whose id is already present.
+
+    Every writable backend (eager store, lazy store, sharded membership)
+    raises this subclass so the service layer can map duplicates to a single
+    HTTP 409 regardless of which corpus flavour backs the service.  Remains a
+    :class:`StorageError` for callers that catch the broad class.
+    """
+
+    def __init__(self, doc_id: str):
+        super().__init__(f"duplicate document id: {doc_id!r}")
         self.doc_id = doc_id
 
 
@@ -166,6 +182,14 @@ class InvalidCursorError(ServiceError):
     and *stale* cursors whose corpus version no longer matches — result
     positions are only stable within one corpus version, so paging across a
     mutation must restart rather than silently skip or repeat results.
+    """
+
+
+class ReadOnlyServiceError(ServiceError):
+    """Raised when a mutation is attempted on a service booted read-only.
+
+    The HTTP front-end maps this to 403: the request was well-formed, but
+    this deployment does not accept writes (``serve`` without ``--writable``).
     """
 
 

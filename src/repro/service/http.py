@@ -14,6 +14,21 @@ nothing but ``curl``:
 * ``POST /compare`` — body is a
   :class:`~repro.service.protocol.CompareRequest` JSON object; answers with
   the comparison table as plain data.
+* ``POST /documents`` — ingest one document (body is an
+  :class:`~repro.service.protocol.IngestRequest` JSON object); ``201`` with
+  the new corpus version on success, ``409`` on a duplicate id, ``403``
+  when the service is read-only.
+* ``POST /documents:bulk`` — NDJSON batch ingest: one ``IngestRequest``
+  object per line (blank lines ignored).  A line that is not valid JSON
+  fails the whole request with ``400`` naming the line; per-document errors
+  (duplicates, unparsable XML) are reported per line in the ``200``
+  response instead, and the successful lines are published as one
+  generation swap.
+* ``DELETE /documents/{id}`` — remove one document; ``404`` if absent.
+* ``GET /documents/updated-since?version=V`` — the change feed: every
+  mutation applied after corpus version ``V``, oldest first, with
+  ``complete=false`` when the in-memory feed no longer reaches back to
+  ``V`` (full resync required).
 * ``GET /healthz`` — liveness probe.
 * ``GET /stats`` — request counters and per-engine cache hit/miss statistics.
 * ``GET /`` — endpoint directory, so an unconfigured probe gets a map
@@ -48,19 +63,22 @@ from __future__ import annotations
 
 import gzip
 import json
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.errors import (
     DocumentNotFoundError,
+    DuplicateDocumentError,
     InvalidCursorError,
     ProtocolError,
+    ReadOnlyServiceError,
     ReproError,
 )
 from repro.search.semantics import semantics_generation
 from repro.service.cursor import decode_cursor
-from repro.service.protocol import CompareRequest, SearchRequest
+from repro.service.protocol import CompareRequest, IngestRequest, SearchRequest
 from repro.service.service import SearchService
 
 __all__ = ["XsactHTTPServer", "create_server"]
@@ -71,6 +89,10 @@ _ENDPOINTS = {
         "structural: within, axis, axis_tag)"
     ),
     "POST /compare": "comparison table for a query's results (JSON body)",
+    "POST /documents": "ingest one document (IngestRequest JSON body; writable services)",
+    "POST /documents:bulk": "batch ingest (NDJSON: one IngestRequest per line)",
+    "DELETE /documents/{id}": "remove one document (writable services)",
+    "GET /documents/updated-since": "change feed of mutations after ?version=V",
     "GET /healthz": "liveness probe",
     "GET /stats": "request counters and cache statistics",
 }
@@ -107,6 +129,10 @@ def create_server(
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: far beyond any legitimate CompareRequest
 
+# Bulk ingest legitimately carries many documents per request; still bounded
+# so one request cannot buffer unbounded client bytes in memory.
+_MAX_BULK_BODY_BYTES = 8 << 20
+
 # Bodies below this stay identity-encoded: gzip's ~20-byte envelope plus the
 # extra header lines can *grow* tiny JSON payloads, and the CPU spend saves
 # nothing on a response that fits in one packet anyway.
@@ -131,10 +157,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle(self._stats)
         elif split.path == "/search":
             self._handle(lambda: self._search(split.query))
+        elif split.path == "/documents/updated-since":
+            self._handle(lambda: self._updated_since(split.query))
         elif split.path == "/":
-            self._respond(200, {"service": "xsact", "endpoints": _ENDPOINTS})
+            self._handle(
+                lambda: self._respond(200, {"service": "xsact", "endpoints": _ENDPOINTS})
+            )
         else:
-            self._error(404, "NotFound", f"unknown path: {split.path}")
+            self._handle(lambda: self._error(404, "NotFound", f"unknown path: {split.path}"))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         # Per-request state: the handler instance persists across keep-alive
@@ -143,8 +173,21 @@ class _Handler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         if split.path == "/compare":
             self._handle(self._compare)
+        elif split.path == "/documents":
+            self._handle(self._ingest)
+        elif split.path == "/documents:bulk":
+            self._handle(self._ingest_bulk)
         else:
-            self._error(404, "NotFound", f"unknown path: {split.path}")
+            self._handle(lambda: self._error(404, "NotFound", f"unknown path: {split.path}"))
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        split = urlsplit(self.path)
+        prefix = "/documents/"
+        if split.path.startswith(prefix) and len(split.path) > len(prefix):
+            doc_id = unquote(split.path[len(prefix):])
+            self._handle(lambda: self._delete_document(doc_id))
+        else:
+            self._handle(lambda: self._error(404, "NotFound", f"unknown path: {split.path}"))
 
     # ------------------------------------------------------------------ #
     # Endpoints
@@ -169,7 +212,18 @@ class _Handler(BaseHTTPRequestHandler):
             # skip query evaluation and result serialisation entirely.
             self._respond_not_modified(etag)
             return
-        self._respond(200, self._service.search(request).to_dict(), etag=etag)
+        response = self._service.search(request)
+        # The emitted tag is derived from the response, not from the
+        # pre-evaluation probe above: if the corpus mutates between the two
+        # reads, the probe's tag would label post-mutation content with the
+        # pre-mutation version and a later If-None-Match would revalidate
+        # the wrong bytes.  The response's version is, by the generation
+        # contract, exactly the corpus state that produced the items.
+        emitted = (
+            f'"search/v{response.corpus_version}/{response.semantics}'
+            f'.{semantics_generation(response.semantics)}"'
+        )
+        self._respond(200, response.to_dict(), etag=emitted)
 
     def _stats(self) -> None:
         etag = f'"stats/v{self._service.corpus.version}"'
@@ -181,6 +235,61 @@ class _Handler(BaseHTTPRequestHandler):
     def _compare(self) -> None:
         request = CompareRequest.from_dict(self._read_json_body())
         self._respond(200, self._service.compare(request).to_dict())
+
+    def _ingest(self) -> None:
+        request = IngestRequest.from_dict(self._read_json_body())
+        self._respond(201, self._service.ingest(request).to_dict())
+
+    def _ingest_bulk(self) -> None:
+        body = self._read_body(limit=_MAX_BULK_BODY_BYTES)
+        if not body.strip():
+            raise ProtocolError("request body is empty; expected NDJSON (one object per line)")
+        try:
+            text = body.decode("utf-8")
+        except UnicodeError as exc:
+            raise ProtocolError(f"request body is not valid UTF-8: {exc}") from exc
+        requests: List[IngestRequest] = []
+        # Strict framing: a line that is not a valid IngestRequest object
+        # fails the whole request *before* anything is ingested — a framing
+        # error means the client and server disagree about where documents
+        # begin, and applying a prefix of that stream would be a partial
+        # write the client cannot reason about.  (Per-document failures —
+        # duplicates, bad XML — are data, not framing, and are reported per
+        # line in the 200 response.)
+        line_numbers: List[int] = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                requests.append(IngestRequest.from_dict(json.loads(line)))
+            except (ValueError, ProtocolError) as exc:
+                raise ProtocolError(f"NDJSON line {number}: {exc}") from exc
+            line_numbers.append(number)
+        if not requests:
+            raise ProtocolError("request body has no NDJSON objects")
+        response = self._service.ingest_many(requests)
+        if response.errors and line_numbers != list(range(1, len(requests) + 1)):
+            # The service numbers errors by request position; blank lines in
+            # the NDJSON stream shift that away from the physical line the
+            # client sent, so map the numbers back before responding.
+            response = replace(
+                response,
+                errors=tuple(
+                    replace(error, line=line_numbers[error.line - 1])
+                    for error in response.errors
+                ),
+            )
+        self._respond(200, response.to_dict())
+
+    def _delete_document(self, doc_id: str) -> None:
+        self._respond(200, self._service.delete_document(doc_id).to_dict())
+
+    def _updated_since(self, raw_query_string: str) -> None:
+        params = parse_qs(raw_query_string)
+        version = self._int_param(params, "version")
+        if version is None:
+            raise ProtocolError("query parameter 'version' is required")
+        self._respond(200, self._service.updated_since(version).to_dict())
 
     def _search_etag(self, request: SearchRequest) -> Optional[str]:
         """Validator for a /search URL: corpus version + semantics identity.
@@ -236,19 +345,37 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def _handle(self, endpoint) -> None:
-        """Run an endpoint, mapping library errors to JSON status responses."""
-        try:
-            endpoint()
-        except InvalidCursorError as error:
-            self._error(410, type(error).__name__, str(error))
-        except DocumentNotFoundError as error:
-            self._error(404, type(error).__name__, str(error))
-        except ReproError as error:
-            self._error(400, type(error).__name__, str(error))
-        except Exception as error:  # pragma: no cover - defensive
-            self._error(500, type(error).__name__, str(error))
+        """Run an endpoint, mapping library errors to JSON status responses.
 
-    def _read_json_body(self) -> Any:
+        The outermost catch swallows client-disconnect errors: a peer that
+        drops the connection mid-write (page closed, curl killed) raises
+        ``BrokenPipeError``/``ConnectionResetError`` out of ``wfile.write``
+        — including out of an ``_error`` response already being written —
+        and answering *that* with another write would raise again and spill
+        a traceback for what is normal client behaviour.  The connection is
+        simply closed.
+        """
+        try:
+            try:
+                endpoint()
+            except InvalidCursorError as error:
+                self._error(410, type(error).__name__, str(error))
+            except DocumentNotFoundError as error:
+                self._error(404, type(error).__name__, str(error))
+            except DuplicateDocumentError as error:
+                self._error(409, type(error).__name__, str(error))
+            except ReadOnlyServiceError as error:
+                self._error(403, type(error).__name__, str(error))
+            except ReproError as error:
+                self._error(400, type(error).__name__, str(error))
+            except Exception as error:  # pragma: no cover - defensive
+                self._error(500, type(error).__name__, str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            # The client is gone; there is no socket left to apologise on.
+            self.close_connection = True
+
+    def _read_body(self, limit: int = _MAX_BODY_BYTES) -> bytes:
+        """Read and return the request body, bounded by ``limit``."""
         raw_length = self.headers.get("Content-Length") or "0"
         try:
             length = int(raw_length)
@@ -256,13 +383,15 @@ class _Handler(BaseHTTPRequestHandler):
             raise ProtocolError(
                 f"Content-Length must be an integer, got {raw_length!r}"
             ) from None
-        if length > _MAX_BODY_BYTES:
+        if length > limit:
             # Client-supplied, so never trusted as a buffer size.
-            raise ProtocolError(
-                f"request body too large: {length} bytes (limit {_MAX_BODY_BYTES})"
-            )
+            raise ProtocolError(f"request body too large: {length} bytes (limit {limit})")
         body = self.rfile.read(length) if length > 0 else b""
         self._body_consumed = True
+        return body
+
+    def _read_json_body(self) -> Any:
+        body = self._read_body()
         if not body:
             raise ProtocolError("request body is empty; expected a JSON object")
         try:

@@ -37,6 +37,12 @@ __all__ = [
     "CompareCell",
     "CompareRow",
     "CompareResponse",
+    "IngestRequest",
+    "IngestResponse",
+    "BulkIngestError",
+    "BulkIngestResponse",
+    "ChangeEntry",
+    "ChangeFeedResponse",
 ]
 
 
@@ -101,6 +107,21 @@ def _mapping(data: Any, where: str) -> Mapping[str, Any]:
 def _decode_list(data: Mapping[str, Any], name: str, item_type: Type, *, where: str) -> List[Any]:
     raw = _get(data, name, list, where=where)
     return [item_type.from_dict(item) for item in raw]
+
+
+def _str_mapping(data: Mapping[str, Any], name: str, *, where: str) -> Optional[Dict[str, str]]:
+    """Decode an optional string→string object field (document metadata)."""
+    raw = data.get(name)
+    if raw is None:
+        return None
+    mapping = _mapping(raw, f"{where}.{name}")
+    for key, value in mapping.items():
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise ProtocolError(
+                f"{where}: field {name!r} must map strings to strings, got "
+                f"{type(key).__name__} -> {type(value).__name__}"
+            )
+    return dict(mapping)
 
 
 def _str_list(data: Mapping[str, Any], name: str, *, where: str) -> List[str]:
@@ -291,6 +312,220 @@ class SearchResponse:
             items=tuple(_decode_list(data, "items", ResultItem, where="SearchResponse")),
             next_cursor=_get_optional(data, "next_cursor", str, where="SearchResponse"),
             corpus_version=_get(data, "corpus_version", int, where="SearchResponse", default=0),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Ingestion
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class IngestRequest:
+    """One document to add to the live corpus.
+
+    Attributes
+    ----------
+    doc_id:
+        Identifier the document will be stored and searchable under; must not
+        collide with an existing document (duplicates map to HTTP 409).
+    xml:
+        The document as serialised XML; parsed on ingest with the library's
+        own parser and rejected (HTTP 400) when malformed.
+    metadata:
+        Optional provenance annotations stored on the document (source URL,
+        dataset name, …).
+
+    ``metadata`` makes instances unhashable (it is a plain dict); the codec
+    and equality contracts are unaffected.
+    """
+
+    doc_id: str
+    xml: str
+    metadata: Optional[Dict[str, str]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"doc_id": self.doc_id, "xml": self.xml}
+        if self.metadata is not None:
+            data["metadata"] = dict(self.metadata)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "IngestRequest":
+        data = _mapping(data, "IngestRequest")
+        return cls(
+            doc_id=_get(data, "doc_id", str, where="IngestRequest"),
+            xml=_get(data, "xml", str, where="IngestRequest"),
+            metadata=_str_mapping(data, "metadata", where="IngestRequest"),
+        )
+
+
+@dataclass(frozen=True)
+class IngestResponse:
+    """Acknowledgement of one applied mutation (add or delete).
+
+    Attributes
+    ----------
+    doc_id:
+        The document the mutation applied to.
+    action:
+        ``"add"`` or ``"delete"``.
+    corpus_version:
+        The corpus version the mutation produced.  Every search response and
+        cursor issued before this version is now stale; clients resync the
+        change feed from their last seen version.
+    documents:
+        Corpus size after the mutation.
+    """
+
+    doc_id: str
+    action: str
+    corpus_version: int
+    documents: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "doc_id": self.doc_id,
+            "action": self.action,
+            "corpus_version": self.corpus_version,
+            "documents": self.documents,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "IngestResponse":
+        data = _mapping(data, "IngestResponse")
+        return cls(
+            doc_id=_get(data, "doc_id", str, where="IngestResponse"),
+            action=_get(data, "action", str, where="IngestResponse"),
+            corpus_version=_get(data, "corpus_version", int, where="IngestResponse"),
+            documents=_get(data, "documents", int, where="IngestResponse"),
+        )
+
+
+@dataclass(frozen=True)
+class BulkIngestError:
+    """One rejected line of a bulk (NDJSON) ingest.
+
+    ``line`` is 1-based over the request body's non-empty lines; ``doc_id``
+    is ``None`` when the line failed before an id could be read.
+    """
+
+    line: int
+    error: str
+    doc_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "error": self.error, "doc_id": self.doc_id}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BulkIngestError":
+        data = _mapping(data, "BulkIngestError")
+        return cls(
+            line=_get(data, "line", int, where="BulkIngestError"),
+            error=_get(data, "error", str, where="BulkIngestError"),
+            doc_id=_get_optional(data, "doc_id", str, where="BulkIngestError"),
+        )
+
+
+@dataclass(frozen=True)
+class BulkIngestResponse:
+    """Outcome of a bulk ingest: per-line errors, one generation swap.
+
+    All accepted documents become visible atomically — readers observe either
+    none of the batch or the whole accepted subset; ``corpus_version`` is the
+    version after the swap (unchanged when every line failed).
+    """
+
+    requested: int
+    ingested: int
+    corpus_version: int
+    documents: int
+    errors: Tuple[BulkIngestError, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requested": self.requested,
+            "ingested": self.ingested,
+            "corpus_version": self.corpus_version,
+            "documents": self.documents,
+            "errors": [error.to_dict() for error in self.errors],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BulkIngestResponse":
+        data = _mapping(data, "BulkIngestResponse")
+        return cls(
+            requested=_get(data, "requested", int, where="BulkIngestResponse"),
+            ingested=_get(data, "ingested", int, where="BulkIngestResponse"),
+            corpus_version=_get(data, "corpus_version", int, where="BulkIngestResponse"),
+            documents=_get(data, "documents", int, where="BulkIngestResponse"),
+            errors=tuple(
+                _decode_list(data, "errors", BulkIngestError, where="BulkIngestResponse")
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ChangeEntry:
+    """One mutation in the change feed: what happened at which version."""
+
+    version: int
+    doc_id: str
+    action: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"version": self.version, "doc_id": self.doc_id, "action": self.action}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ChangeEntry":
+        data = _mapping(data, "ChangeEntry")
+        return cls(
+            version=_get(data, "version", int, where="ChangeEntry"),
+            doc_id=_get(data, "doc_id", str, where="ChangeEntry"),
+            action=_get(data, "action", str, where="ChangeEntry"),
+        )
+
+
+@dataclass(frozen=True)
+class ChangeFeedResponse:
+    """Mutations after a client's last seen version (replica sync protocol).
+
+    Attributes
+    ----------
+    since:
+        The version the client asked about, echoed back.
+    corpus_version:
+        The server's current version; equal to ``since`` means up to date.
+    complete:
+        Whether ``entries`` covers *every* mutation after ``since``.  The
+        in-memory feed starts at service boot and is bounded, so a client
+        whose ``since`` predates the feed's horizon gets ``False`` and must
+        resync in full instead of applying the (gapped) entries.
+    entries:
+        The known mutations with ``version > since``, oldest first.
+    """
+
+    since: int
+    corpus_version: int
+    complete: bool
+    entries: Tuple[ChangeEntry, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "since": self.since,
+            "corpus_version": self.corpus_version,
+            "complete": self.complete,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ChangeFeedResponse":
+        data = _mapping(data, "ChangeFeedResponse")
+        return cls(
+            since=_get(data, "since", int, where="ChangeFeedResponse"),
+            corpus_version=_get(data, "corpus_version", int, where="ChangeFeedResponse"),
+            complete=_get(data, "complete", bool, where="ChangeFeedResponse"),
+            entries=tuple(
+                _decode_list(data, "entries", ChangeEntry, where="ChangeFeedResponse")
+            ),
         )
 
 

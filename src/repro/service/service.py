@@ -33,12 +33,20 @@ unchanged.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.comparison.table import ComparisonTable
 from repro.core.config import DFSConfig
 from repro.core.generator import DFSGenerator
-from repro.errors import ComparisonError, InvalidCursorError, QueryError, ServiceError
+from repro.errors import (
+    ComparisonError,
+    InvalidCursorError,
+    QueryError,
+    ReadOnlyServiceError,
+    ReproError,
+    ServiceError,
+)
 from repro.features.extractor import FeatureExtractor
 from repro.search.engine import SearchEngine
 from repro.search.query import KeywordQuery
@@ -47,15 +55,23 @@ from repro.search.result import SearchResult, SearchResultSet
 from repro.search.semantics import available_semantics, semantics_generation
 from repro.service.cursor import decode_cursor, encode_cursor
 from repro.service.protocol import (
+    BulkIngestError,
+    BulkIngestResponse,
+    ChangeEntry,
+    ChangeFeedResponse,
     CompareCell,
     CompareRequest,
     CompareResponse,
     CompareRow,
+    IngestRequest,
+    IngestResponse,
     ResultItem,
     SearchRequest,
     SearchResponse,
 )
 from repro.storage.corpus import Corpus
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.parser import parse_xml
 from repro.xmlmodel.serializer import serialize
 
 __all__ = ["SearchService", "DEFAULT_PAGE_SIZE", "DEFAULT_MAX_PAGE_SIZE"]
@@ -66,78 +82,37 @@ DEFAULT_PAGE_SIZE = 10
 DEFAULT_MAX_PAGE_SIZE = 100
 
 
-class SearchService:
-    """Request/response service over one corpus.
+class _Generation:
+    """One serving generation: a corpus with its engines and feature extractor.
 
-    Parameters
-    ----------
-    corpus:
-        The corpus to serve.  The service treats it as read-only; mutations
-        (performed out of band) invalidate engine caches and outstanding
-        cursors via :attr:`~repro.storage.corpus.Corpus.version`.
-    config:
-        Default DFS construction configuration for comparisons.
-    algorithm:
-        Default DFS construction algorithm.
-    cache_size / cache_max_results:
-        Per-engine query-cache bounds, passed through to every
-        :class:`~repro.search.engine.SearchEngine` the service creates.
-    default_page_size:
-        Page size used when a request does not specify one.
-    max_page_size:
-        Hard ceiling on the per-request page size; larger asks are clamped
-        (a public endpoint must not let one request materialise an unbounded
-        page).
+    Readers capture the current generation once per request, so every piece
+    of a response — version stamp, ranked list, result subtrees — comes from
+    one consistent corpus state even while a writer installs the next
+    generation.  Engines and the extractor are created lazily per generation
+    because they read the generation's own statistics and caches.
     """
+
+    __slots__ = ("corpus", "_cache_size", "_cache_max_results", "_engines", "_extractor", "_lock")
 
     def __init__(
         self,
         corpus: Corpus,
-        config: Optional[DFSConfig] = None,
-        algorithm: str = "multi_swap",
-        cache_size: int = 128,
-        cache_max_results: Optional[int] = 4096,
-        default_page_size: int = DEFAULT_PAGE_SIZE,
-        max_page_size: int = DEFAULT_MAX_PAGE_SIZE,
-    ):
-        if default_page_size <= 0:
-            raise ServiceError(f"default_page_size must be positive, got {default_page_size}")
-        if max_page_size < default_page_size:
-            raise ServiceError(
-                f"max_page_size ({max_page_size}) must be >= default_page_size "
-                f"({default_page_size})"
-            )
+        cache_size: int,
+        cache_max_results: Optional[int],
+    ) -> None:
         self.corpus = corpus
-        self.config = config or DFSConfig()
-        self.algorithm = algorithm
-        self.default_page_size = default_page_size
-        self.max_page_size = max_page_size
-        self.extractor = FeatureExtractor(statistics=corpus.statistics)
         self._cache_size = cache_size
         self._cache_max_results = cache_max_results
         self._engines: Dict[str, SearchEngine] = {}
+        self._extractor: Optional[FeatureExtractor] = None
         self._lock = threading.Lock()
-        self._search_count = 0
-        self._compare_count = 0
 
-    # ------------------------------------------------------------------ #
-    # Engines
-    # ------------------------------------------------------------------ #
     def engine_for(self, semantics: str) -> SearchEngine:
-        """Return the engine for a semantics, creating it on first use.
-
-        Raises
-        ------
-        SearchError
-            If ``semantics`` is not registered (see
-            :mod:`repro.search.semantics`).
-        """
         with self._lock:
             engine = self._engines.get(semantics)
             if engine is None:
                 # Polymorphic dispatch: the corpus knows which engine serves
-                # it (a ShardedCorpus yields a fan-out ShardedSearchEngine),
-                # so the service works over sharded backends transparently.
+                # it (a ShardedCorpus yields a fan-out ShardedSearchEngine).
                 # The getattr fallback keeps duck-typed corpus stand-ins in
                 # tests working without the full Corpus surface.
                 factory = getattr(self.corpus, "create_engine", None)
@@ -156,6 +131,151 @@ class SearchService:
                     )
                 self._engines[semantics] = engine
             return engine
+
+    def engines(self) -> Dict[str, SearchEngine]:
+        with self._lock:
+            return dict(self._engines)
+
+    @property
+    def extractor(self) -> FeatureExtractor:
+        with self._lock:
+            if self._extractor is None:
+                self._extractor = FeatureExtractor(statistics=self.corpus.statistics)
+            return self._extractor
+
+
+class SearchService:
+    """Request/response service over one corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus to serve.  With ``writable=False`` (the default) the
+        service treats it as read-only; out-of-band mutations still
+        invalidate engine caches and outstanding cursors via
+        :attr:`~repro.storage.corpus.Corpus.version`.  With
+        ``writable=True`` the mutation surface (:meth:`ingest`,
+        :meth:`ingest_many`, :meth:`delete_document`) is enabled: each write
+        builds the next corpus *generation* via
+        :meth:`~repro.storage.corpus.Corpus.begin_generation` and publishes
+        it with one reference swap, so readers never block on writers and
+        in-flight searches finish against the pre-mutation generation.
+    config:
+        Default DFS construction configuration for comparisons.
+    algorithm:
+        Default DFS construction algorithm.
+    cache_size / cache_max_results:
+        Per-engine query-cache bounds, passed through to every
+        :class:`~repro.search.engine.SearchEngine` the service creates.
+    default_page_size:
+        Page size used when a request does not specify one.
+    max_page_size:
+        Hard ceiling on the per-request page size; larger asks are clamped
+        (a public endpoint must not let one request materialise an unbounded
+        page).
+    writable:
+        Whether the mutation surface is enabled.  Read-only services answer
+        every mutation with :class:`~repro.errors.ReadOnlyServiceError`
+        (HTTP 403).
+    snapshot_path / snapshot_every:
+        Durability hook: after every ``snapshot_every`` applied mutations a
+        background thread re-snapshots the just-installed generation to
+        ``snapshot_path`` (atomic temp-file + rename, see
+        :mod:`repro.storage.snapshot`).  The saved corpus is immutable — the
+        next write builds a fresh clone — so the save runs without locks.
+    change_log_limit:
+        Bound on the in-memory change feed; older entries are dropped and
+        clients whose sync point predates the horizon are told to resync in
+        full (``complete=false``).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        config: Optional[DFSConfig] = None,
+        algorithm: str = "multi_swap",
+        cache_size: int = 128,
+        cache_max_results: Optional[int] = 4096,
+        default_page_size: int = DEFAULT_PAGE_SIZE,
+        max_page_size: int = DEFAULT_MAX_PAGE_SIZE,
+        writable: bool = False,
+        snapshot_path: Optional[Union[str, Path]] = None,
+        snapshot_every: Optional[int] = None,
+        change_log_limit: int = 1024,
+    ):
+        if default_page_size <= 0:
+            raise ServiceError(f"default_page_size must be positive, got {default_page_size}")
+        if max_page_size < default_page_size:
+            raise ServiceError(
+                f"max_page_size ({max_page_size}) must be >= default_page_size "
+                f"({default_page_size})"
+            )
+        if snapshot_every is not None and snapshot_every <= 0:
+            raise ServiceError(f"snapshot_every must be positive, got {snapshot_every}")
+        if snapshot_every is not None and snapshot_path is None:
+            raise ServiceError("snapshot_every needs a snapshot_path to write to")
+        if change_log_limit <= 0:
+            raise ServiceError(f"change_log_limit must be positive, got {change_log_limit}")
+        self.config = config or DFSConfig()
+        self.algorithm = algorithm
+        self.default_page_size = default_page_size
+        self.max_page_size = max_page_size
+        self.writable = writable
+        self._cache_size = cache_size
+        self._cache_max_results = cache_max_results
+        self._generation = _Generation(corpus, cache_size, cache_max_results)
+        self._lock = threading.Lock()
+        # Writers serialise on this lock for the whole clone-mutate-install
+        # cycle; readers never take it (they capture self._generation once).
+        self._write_lock = threading.Lock()
+        self._search_count = 0
+        self._compare_count = 0
+        self._ingest_count = 0
+        self._delete_count = 0
+        self._changes: List[ChangeEntry] = []
+        self._change_log_limit = change_log_limit
+        # Versions <= the floor predate the feed (boot state or trimmed
+        # entries): a client syncing from below it must resync in full.
+        self._feed_floor = corpus.version
+        self._snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
+        self._snapshot_every = snapshot_every
+        self._mutation_count = 0
+        self._mutations_since_snapshot = 0
+        self._snapshot_thread: Optional[threading.Thread] = None
+        self._snapshots_written = 0
+        self._last_snapshot_version: Optional[int] = None
+        self._last_snapshot_error: Optional[str] = None
+
+    @property
+    def corpus(self) -> Corpus:
+        """The corpus of the current serving generation.
+
+        The reference changes on every applied mutation; capture it once per
+        operation when consistency across reads matters.
+        """
+        return self._generation.corpus
+
+    @property
+    def extractor(self) -> FeatureExtractor:
+        """The feature extractor over the current generation's statistics."""
+        return self._generation.extractor
+
+    # ------------------------------------------------------------------ #
+    # Engines
+    # ------------------------------------------------------------------ #
+    def engine_for(self, semantics: str) -> SearchEngine:
+        """Return the current generation's engine for a semantics.
+
+        Created on first use per generation — a mutation installs a fresh
+        generation whose engines (and query caches) start empty.
+
+        Raises
+        ------
+        SearchError
+            If ``semantics`` is not registered (see
+            :mod:`repro.search.semantics`).
+        """
+        return self._generation.engine_for(semantics)
 
     # ------------------------------------------------------------------ #
     # Rich API (Python callers: Xsact, CLI, tests)
@@ -307,14 +427,18 @@ class SearchService:
     # ------------------------------------------------------------------ #
     def search(self, request: SearchRequest) -> SearchResponse:
         """Serve one paginated search request."""
+        # Capture the serving generation once: version stamp, staleness check
+        # and evaluation all run against one corpus state, so a concurrent
+        # generation swap cannot produce a torn page.
+        generation = self._generation
 
         def fetch(
             query: KeywordQuery, semantics: str, offset: int, count: int
         ) -> Tuple[int, List[SearchResult]]:
-            total, page = self.engine_for(semantics).search_page(query, offset, count)
+            total, page = generation.engine_for(semantics).search_page(query, offset, count)
             return total, page.results
 
-        return self._paged_search(request, fetch)
+        return self._paged_search(request, fetch, generation)
 
     def search_many(self, requests: Sequence[SearchRequest]) -> List[SearchResponse]:
         """Serve a batch of search requests.
@@ -331,6 +455,9 @@ class SearchService:
             Tuple[Tuple[str, ...], str, int, int], Tuple[int, List[SearchResult]]
         ] = {}
         full_memo: Dict[Tuple[Tuple[str, ...], str], SearchResultSet] = {}
+        # One generation for the whole batch: every response carries the same
+        # corpus version and the memoised ranked lists stay coherent.
+        generation = self._generation
 
         def fetch(
             query: KeywordQuery, semantics: str, offset: int, count: int
@@ -343,7 +470,7 @@ class SearchService:
             window = window_memo.get(key)
             if window is not None:
                 return window
-            engine = self.engine_for(semantics)
+            engine = generation.engine_for(semantics)
             first_window = not any(k[:2] == pair for k in window_memo)
             if engine.cache_size > 0 and first_window:
                 # Cheap path for the first window of a pair: O(page) clones,
@@ -360,14 +487,21 @@ class SearchService:
             full_memo[pair] = result_set
             return len(result_set), result_set.results[offset : offset + count]
 
-        return [self._paged_search(request, fetch) for request in requests]
+        return [self._paged_search(request, fetch, generation) for request in requests]
 
     def _paged_search(
         self,
         request: SearchRequest,
         fetch: Callable[[KeywordQuery, str, int, int], Tuple[int, List[SearchResult]]],
+        generation: _Generation,
     ) -> SearchResponse:
-        """Shared pagination core of :meth:`search` and :meth:`search_many`."""
+        """Shared pagination core of :meth:`search` and :meth:`search_many`.
+
+        ``generation`` is the serving generation the caller captured (and
+        whose engines ``fetch`` evaluates on); generation-swap writes never
+        touch it, so the version read below can only move when the *served*
+        corpus itself is mutated in place (out-of-band library callers).
+        """
         with self._lock:
             self._search_count += 1
         if request.page_size is not None and request.page_size <= 0:
@@ -378,7 +512,7 @@ class SearchService:
         # corpus mutates mid-request, the issued cursor then fails the next
         # request's staleness check instead of silently pointing a pre-
         # mutation offset at a post-mutation ranked list.
-        version = self.corpus.version
+        version = generation.corpus.version
         if request.cursor is not None:
             cursor = decode_cursor(request.cursor)
             if cursor.corpus_version != version:
@@ -469,7 +603,7 @@ class SearchService:
         page_size = min(page_size, self.max_page_size)
 
         total, page = fetch(query, semantics, offset, page_size)
-        if request.cursor is not None and self.corpus.version != version:
+        if request.cursor is not None and generation.corpus.version != version:
             # The corpus mutated between the staleness check and evaluation;
             # this page was sliced from a post-mutation ranked list with a
             # pre-mutation offset, so serving it could silently skip or
@@ -479,7 +613,7 @@ class SearchService:
             # then rejected as stale.)
             raise InvalidCursorError(
                 f"corpus mutated during pagination (version {version} -> "
-                f"{self.corpus.version}); restart pagination"
+                f"{generation.corpus.version}); restart pagination"
             )
         next_offset = offset + page_size
         next_cursor = None
@@ -578,6 +712,240 @@ class SearchService:
         )
 
     # ------------------------------------------------------------------ #
+    # Mutation surface (writable services only)
+    # ------------------------------------------------------------------ #
+    def _require_writable(self) -> None:
+        if not self.writable:
+            raise ReadOnlyServiceError(
+                "service is read-only; start it with writable=True (serve --writable) "
+                "to enable ingestion"
+            )
+
+    def ingest(self, request: IngestRequest) -> IngestResponse:
+        """Parse and add one document, publishing a new corpus generation.
+
+        The XML is parsed *outside* the write lock (parsing dominates the
+        cost of small writes); the clone-mutate-install cycle then runs under
+        it.  On success the new generation is immediately visible to fresh
+        searches, every engine cache starts empty, and outstanding cursors
+        from older generations are rejected as stale.
+
+        Raises
+        ------
+        ReadOnlyServiceError
+            If the service was not started writable.
+        DuplicateDocumentError
+            If ``doc_id`` is already in the corpus.  Nothing is changed.
+        ParseError
+            If the XML payload does not parse.  Nothing is changed.
+        """
+        self._require_writable()
+        root = parse_xml(request.xml)
+        with self._write_lock:
+            corpus = self._generation.corpus.begin_generation()
+            corpus.add_document(request.doc_id, root, metadata=request.metadata)
+            self._install_generation(
+                corpus, [ChangeEntry(version=corpus.version, doc_id=request.doc_id, action="add")]
+            )
+            with self._lock:
+                self._ingest_count += 1
+            return IngestResponse(
+                doc_id=request.doc_id,
+                action="add",
+                corpus_version=corpus.version,
+                documents=len(corpus.store),
+            )
+
+    def ingest_many(self, requests: Sequence[IngestRequest]) -> BulkIngestResponse:
+        """Apply a batch of ingests as one generation swap.
+
+        Per-item errors (parse failures, duplicate ids — including ids that
+        duplicate an earlier line of the same batch) are collected instead of
+        failing the batch: the response reports each failed line with its
+        error, and every successful line is part of the single published
+        generation.  A batch whose every line fails publishes nothing.
+
+        Raises
+        ------
+        ReadOnlyServiceError
+            If the service was not started writable.
+        """
+        self._require_writable()
+        errors: List[BulkIngestError] = []
+        parsed: List[Tuple[int, IngestRequest, XMLNode]] = []
+        for line, request in enumerate(requests, start=1):
+            try:
+                parsed.append((line, request, parse_xml(request.xml)))
+            except ReproError as exc:
+                errors.append(BulkIngestError(line=line, error=str(exc), doc_id=request.doc_id))
+        with self._write_lock:
+            corpus = self._generation.corpus.begin_generation()
+            entries: List[ChangeEntry] = []
+            for line, request, root in parsed:
+                try:
+                    corpus.add_document(request.doc_id, root, metadata=request.metadata)
+                except ReproError as exc:
+                    errors.append(
+                        BulkIngestError(line=line, error=str(exc), doc_id=request.doc_id)
+                    )
+                    continue
+                entries.append(
+                    ChangeEntry(version=corpus.version, doc_id=request.doc_id, action="add")
+                )
+            if entries:
+                self._install_generation(corpus, entries)
+                with self._lock:
+                    self._ingest_count += len(entries)
+            current = self._generation.corpus
+            errors.sort(key=lambda error: error.line)
+            return BulkIngestResponse(
+                requested=len(requests),
+                ingested=len(entries),
+                corpus_version=current.version,
+                documents=len(current.store),
+                errors=tuple(errors),
+            )
+
+    def delete_document(self, doc_id: str) -> IngestResponse:
+        """Remove one document, publishing a new corpus generation.
+
+        Raises
+        ------
+        ReadOnlyServiceError
+            If the service was not started writable.
+        DocumentNotFoundError
+            If ``doc_id`` is not in the corpus.  Nothing is changed.
+        """
+        self._require_writable()
+        with self._write_lock:
+            corpus = self._generation.corpus.begin_generation()
+            corpus.remove_document(doc_id)
+            self._install_generation(
+                corpus, [ChangeEntry(version=corpus.version, doc_id=doc_id, action="delete")]
+            )
+            with self._lock:
+                self._delete_count += 1
+            return IngestResponse(
+                doc_id=doc_id,
+                action="delete",
+                corpus_version=corpus.version,
+                documents=len(corpus.store),
+            )
+
+    def _install_generation(self, corpus: Corpus, entries: List[ChangeEntry]) -> None:
+        """Publish a mutated clone as the serving generation.
+
+        One reference swap: readers that captured the old generation finish
+        against it; everything after sees the new corpus, fresh (empty)
+        engine caches, and a fresh feature extractor.  Callers hold
+        ``_write_lock``; the swap itself and the change-feed append run under
+        ``_lock`` so :meth:`updated_since` reads a consistent pair.
+        """
+        # Published state must be read-only: finalize the index's deferred
+        # bucket ordering now, while this thread is still the sole owner,
+        # instead of letting the first reader lookup mutate shared tables.
+        corpus.finalize()
+        generation = _Generation(corpus, self._cache_size, self._cache_max_results)
+        with self._lock:
+            self._generation = generation
+            self._changes.extend(entries)
+            overflow = len(self._changes) - self._change_log_limit
+            if overflow > 0:
+                dropped = self._changes[:overflow]
+                del self._changes[:overflow]
+                # Clients synced to a version at or below the last dropped
+                # entry can no longer be given a complete diff.
+                self._feed_floor = dropped[-1].version
+            self._mutation_count += len(entries)
+            self._mutations_since_snapshot += len(entries)
+        self._maybe_snapshot(corpus)
+
+    def updated_since(self, version: int) -> ChangeFeedResponse:
+        """The change feed: every mutation applied after ``version``.
+
+        ``complete=False`` warns that entries older than the in-memory
+        horizon were dropped (or predate service start): the client saw
+        ``since`` before this service's feed began, so the returned entries
+        may not be the whole diff and a full resync is required.
+
+        Raises
+        ------
+        ServiceError
+            If ``version`` is negative or ahead of the current corpus
+            version (a client can never have synced past the server).
+        """
+        if version < 0:
+            raise ServiceError(f"version must be non-negative, got {version}")
+        with self._lock:
+            current = self._generation.corpus.version
+            if version > current:
+                raise ServiceError(
+                    f"version {version} is ahead of the corpus (at version {current})"
+                )
+            entries = tuple(entry for entry in self._changes if entry.version > version)
+            floor = self._feed_floor
+        return ChangeFeedResponse(
+            since=version,
+            corpus_version=current,
+            complete=version >= floor,
+            entries=entries,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Background re-snapshot
+    # ------------------------------------------------------------------ #
+    def _maybe_snapshot(self, corpus: Corpus) -> None:
+        """Kick off a background save if the mutation threshold is reached.
+
+        At most one snapshot thread runs at a time; if the previous save is
+        still writing, the counter keeps accumulating and the *next* install
+        triggers the save (with the newer generation).  The saved corpus is
+        a published generation — immutable by the swap discipline — so the
+        writer thread needs no lock.
+        """
+        if self._snapshot_every is None or self._snapshot_path is None:
+            return
+        with self._lock:
+            if self._mutations_since_snapshot < self._snapshot_every:
+                return
+            if self._snapshot_thread is not None and self._snapshot_thread.is_alive():
+                return
+            self._mutations_since_snapshot = 0
+            thread = threading.Thread(
+                target=self._write_snapshot,
+                args=(corpus,),
+                name="xsact-snapshot",
+                daemon=True,
+            )
+            self._snapshot_thread = thread
+        thread.start()
+
+    def _write_snapshot(self, corpus: Corpus) -> None:
+        try:
+            corpus.save(self._snapshot_path)
+        except (ReproError, OSError) as exc:
+            with self._lock:
+                self._last_snapshot_error = str(exc)
+            return
+        with self._lock:
+            self._snapshots_written += 1
+            self._last_snapshot_version = corpus.version
+            self._last_snapshot_error = None
+
+    def wait_for_snapshot(self, timeout: Optional[float] = None) -> bool:
+        """Block until the in-flight background snapshot (if any) finishes.
+
+        Returns ``True`` if no snapshot is running by the deadline.  Tests
+        and orderly shutdown use this; serving never does.
+        """
+        with self._lock:
+            thread = self._snapshot_thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def health(self) -> Dict[str, object]:
@@ -598,33 +966,51 @@ class SearchService:
         lazily-loaded corpus those are the materialised/evicted/decoded
         figures operators watch to size ``max_materialised``.
         """
+        generation = self._generation
         with self._lock:
-            engines = dict(self._engines)
             search_count = self._search_count
             compare_count = self._compare_count
+            ingest_count = self._ingest_count
+            delete_count = self._delete_count
+            ingest_stats: Dict[str, object] = {
+                "writable": self.writable,
+                "mutations": self._mutation_count,
+                "change_log": len(self._changes),
+                "snapshots_written": self._snapshots_written,
+                "last_snapshot_version": self._last_snapshot_version,
+                "last_snapshot_error": self._last_snapshot_error,
+            }
+        engines = generation.engines()
         per_engine = {name: engine.cache_stats() for name, engine in engines.items()}
         aggregate = {"entries": 0, "cached_results": 0, "hits": 0, "misses": 0}
         for snapshot in per_engine.values():
             for key in aggregate:
                 aggregate[key] += snapshot[key]
+        corpus = generation.corpus
         corpus_stats: Dict[str, object] = {
-            "name": self.corpus.name,
-            "documents": len(self.corpus.store),
-            "version": self.corpus.version,
-            "store": self.corpus.store.stats(),
+            "name": corpus.name,
+            "documents": len(corpus.store),
+            "version": corpus.version,
+            "store": corpus.store.stats(),
         }
         # Additive, never renaming (the wire schema is pinned by golden
         # fixtures): a sharded backend reports its shard count here and its
         # per-shard backend counters inside store["shards"].
-        shards = getattr(self.corpus, "shards", None)
+        shards = getattr(corpus, "shards", None)
         if shards is not None:
             corpus_stats["shard_count"] = len(shards)
         return {
             "corpus": corpus_stats,
-            "requests": {"search": search_count, "compare": compare_count},
+            "requests": {
+                "search": search_count,
+                "compare": compare_count,
+                "ingest": ingest_count,
+                "delete": delete_count,
+            },
             "semantics": available_semantics(),
             "cache": aggregate,
             "engines": per_engine,
+            "ingest": ingest_stats,
         }
 
     # ------------------------------------------------------------------ #

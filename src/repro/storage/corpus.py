@@ -219,14 +219,56 @@ class Corpus:
             cache_max_results=cache_max_results,
         )
 
-    def add_document(self, doc_id: str, root: XMLNode) -> None:
+    def begin_generation(self) -> "Corpus":
+        """Start a new mutable generation of this corpus.
+
+        Returns a structurally-shared clone: document trees and finalized
+        posting buckets are shared (protected by the store's and index's
+        copy-on-write rules), while every piece of mutable bookkeeping —
+        membership, frequencies, path summaries, the term dictionary — is
+        copied.  Mutating the clone never changes what this corpus serves,
+        so a writer can build the next generation while in-flight readers
+        finish against this one, then publish the clone with one reference
+        swap.  A failed mutation is discarded by dropping the clone.
+
+        Cost is proportional to membership size (dict copies), not to corpus
+        content — no tree, posting or record is duplicated.
+        """
+        dictionary = self.dictionary.clone()
+        clone = Corpus._restore(
+            store=self.store.clone(),
+            dictionary=dictionary,
+            index=self.index.clone(dictionary),
+            statistics=self.statistics.clone(dictionary),
+            name=self.name,
+            version=self.version,
+        )
+        clone.structure = self.structure.clone(clone._document_root)
+        return clone
+
+    def finalize(self) -> None:
+        """Finalize derived structures so concurrent reads are mutation-free.
+
+        The index defers bucket ordering until the first order-sensitive
+        lookup; that lazy step mutates internal tables, which is fine
+        single-threaded but a data race when a published corpus serves many
+        reader threads.  A writer calls this on a mutated generation *before*
+        installing it, so everything readers touch is already in its final
+        form and lookups never write.
+        """
+        self.index.finalize()
+
+    def add_document(
+        self, doc_id: str, root: XMLNode, metadata: Optional[Dict[str, str]] = None
+    ) -> None:
         """Add one document and update index and statistics incrementally.
 
         Unlike mutating ``corpus.store`` directly followed by :meth:`refresh`,
         this folds the new document into the existing index and statistics
-        instead of rebuilding both from scratch.
+        instead of rebuilding both from scratch.  ``metadata`` is stored on
+        the document (ingestion provenance, source URLs, …).
         """
-        document = self.store.add(doc_id, root)
+        document = self.store.add(doc_id, root, metadata=metadata)
         try:
             self.index.add_document(doc_id, document.root)
         except Exception:

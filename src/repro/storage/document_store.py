@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
-from repro.errors import DocumentNotFoundError, StorageError
+from repro.errors import DocumentNotFoundError, DuplicateDocumentError, StorageError
 from repro.xmlmodel.dewey import DeweyLabel
 from repro.xmlmodel.node import XMLNode
 from repro.xmlmodel.parser import parse_xml_file
@@ -79,7 +79,7 @@ class BaseDocumentStore(ABC):
     def add(
         self, doc_id: str, root: XMLNode, metadata: Optional[Dict[str, str]] = None
     ) -> StoredDocument:
-        """Add a document; raises :class:`StorageError` on duplicate ids."""
+        """Add a document; raises :class:`DuplicateDocumentError` on duplicate ids."""
 
     @abstractmethod
     def remove(self, doc_id: str) -> StoredDocument:
@@ -151,6 +151,21 @@ class BaseDocumentStore(ABC):
         return self.get(doc_id).node_at(label)
 
     # ------------------------------------------------------------------ #
+    # Generations
+    # ------------------------------------------------------------------ #
+    def clone(self) -> "BaseDocumentStore":
+        """Return a structurally-shared copy safe to mutate independently.
+
+        The copy shares the (immutable) document trees with the original but
+        owns its membership bookkeeping, so adds/removes on one never show
+        through the other.  Generation-swap writes rely on this: the served
+        store keeps answering from the old membership while a writer mutates
+        the clone.  Backends that cannot support this raise
+        :class:`StorageError`.
+        """
+        raise StorageError(f"store backend does not support cloning: {type(self).__name__}")
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def save_to_directory(self, directory: Union[str, Path]) -> List[Path]:
@@ -180,9 +195,9 @@ class DocumentStore(BaseDocumentStore):
     # Mutation
     # ------------------------------------------------------------------ #
     def add(self, doc_id: str, root: XMLNode, metadata: Optional[Dict[str, str]] = None) -> StoredDocument:
-        """Add a document; raises :class:`StorageError` on duplicate ids."""
+        """Add a document; raises :class:`DuplicateDocumentError` on duplicate ids."""
         if doc_id in self._documents:
-            raise StorageError(f"duplicate document id: {doc_id!r}")
+            raise DuplicateDocumentError(doc_id)
         if not root.is_element:
             raise StorageError("document root must be an element node")
         document = StoredDocument(doc_id=doc_id, root=root, metadata=dict(metadata or {}))
@@ -224,6 +239,11 @@ class DocumentStore(BaseDocumentStore):
 
     def stats(self) -> Dict[str, object]:
         return {"backend": "eager", "documents": len(self._documents)}
+
+    def clone(self) -> "DocumentStore":
+        copy = DocumentStore()
+        copy._documents = dict(self._documents)
+        return copy
 
     # ------------------------------------------------------------------ #
     # Persistence

@@ -187,6 +187,29 @@ class InvertedIndex:
         index._documents_indexed = len(doc_terms)
         return index
 
+    def clone(self, dictionary: Optional[TermDictionary] = None) -> "InvertedIndex":
+        """Structurally-shared copy for generation-swap writes.
+
+        Finalizes first, so every shared bucket is protected by the same
+        copy-on-write rule that protects lists handed out by
+        :meth:`keyword_node_lists`: the first post-finalize mutation of a
+        bucket — on either copy — works on a fresh list.  The per-document
+        offset maps are likewise safe to share because mutations only ever
+        *replace* inner dicts (at finalize) or pop outer keys, never edit an
+        inner dict in place.  Pass the owning corpus's cloned dictionary so
+        the clone interns new terms privately; when omitted the dictionary is
+        shared (ids are append-only and stable, so sharing is safe, but the
+        original's dictionary then grows with the clone's ingests).
+        """
+        self.finalize()
+        index = InvertedIndex(dictionary if dictionary is not None else self._dictionary)
+        index._postings = dict(self._postings)
+        index._document_frequency = dict(self._document_frequency)
+        index._doc_ranges = dict(self._doc_ranges)
+        index._doc_terms = dict(self._doc_terms)
+        index._documents_indexed = self._documents_indexed
+        return index
+
     def remove_document(self, doc_id: str) -> None:
         """Un-index one document, incrementally.
 

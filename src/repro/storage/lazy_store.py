@@ -50,7 +50,7 @@ from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Callable, Dict, Iterator, List, Mapping, Optional
 
-from repro.errors import DocumentNotFoundError, StorageError
+from repro.errors import DocumentNotFoundError, DuplicateDocumentError, StorageError
 from repro.storage.document_store import BaseDocumentStore, StoredDocument
 from repro.xmlmodel.node import XMLNode
 
@@ -98,6 +98,35 @@ class DocumentRecord:
     compressed: bool
     element_count: int
     metadata: Mapping[str, str]
+
+
+class _SharedCloser:
+    """Refcounted wrapper letting generation clones share one mmap closer.
+
+    Each store holding a reference calls the closer exactly once (via
+    :meth:`LazyDocumentStore.close`); the wrapped resource is only released
+    when the last holder has done so.  Without this, discarding a clone of a
+    failed mutation would close the mapping still serving the live store.
+    """
+
+    def __init__(self, closer: Callable[[], None]) -> None:
+        self._closer: Optional[Callable[[], None]] = closer
+        self._refs = 1
+        self._lock = threading.Lock()
+
+    def acquire(self) -> "_SharedCloser":
+        with self._lock:
+            self._refs += 1
+        return self
+
+    def __call__(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            closer, self._closer = self._closer, None
+        if closer is not None:
+            closer()
 
 
 class LazyDocumentStore(BaseDocumentStore):
@@ -233,7 +262,7 @@ class LazyDocumentStore(BaseDocumentStore):
         document = StoredDocument(doc_id=doc_id, root=root, metadata=dict(metadata or {}))
         with self._lock:
             if doc_id in self._records or doc_id in self._resident:
-                raise StorageError(f"duplicate document id: {doc_id!r}")
+                raise DuplicateDocumentError(doc_id)
             self._resident[doc_id] = document
             self._order[doc_id] = None
             return document
@@ -320,6 +349,40 @@ class LazyDocumentStore(BaseDocumentStore):
                 "evictions": self._eviction_count,
                 "promotions": self._promotion_count,
             }
+
+    def clone(self) -> "LazyDocumentStore":
+        """Structurally-shared copy for generation-swap writes.
+
+        Shares the immutable record section (and its mmap, through a
+        refcounted closer) plus the already-materialised document objects;
+        copies every piece of membership bookkeeping so adds/removes on the
+        clone never show through the original.  Whole-document mutation only:
+        editing a shared tree *in place* would be visible across generations,
+        so in-place edits must :meth:`promote` on the generation being
+        mutated and replace the tree, never splice nodes of a shared one.
+        """
+        with self._lock:
+            if self._closed:
+                raise StorageError("cannot clone a closed document store")
+            closer: Optional[Callable[[], None]] = None
+            if self._closer is not None:
+                if not isinstance(self._closer, _SharedCloser):
+                    self._closer = _SharedCloser(self._closer)
+                closer = self._closer.acquire()
+            copy = LazyDocumentStore.__new__(LazyDocumentStore)
+            copy._records = OrderedDict(self._records)
+            copy._loader = self._loader
+            copy._closer = closer
+            copy._closed = False
+            copy.max_materialised = self.max_materialised
+            copy._lru = OrderedDict(self._lru)
+            copy._resident = dict(self._resident)
+            copy._order = dict(self._order)
+            copy._lock = threading.Lock()
+            copy._decode_count = self._decode_count
+            copy._eviction_count = self._eviction_count
+            copy._promotion_count = self._promotion_count
+            return copy
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -59,6 +59,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 from repro.errors import (
     DocumentNotFoundError,
+    DuplicateDocumentError,
     SnapshotError,
     SnapshotFormatError,
     SnapshotVersionError,
@@ -526,7 +527,9 @@ class ShardedCorpus:
             cache_max_results=cache_max_results,
         )
 
-    def add_document(self, doc_id: str, root: XMLNode) -> None:
+    def add_document(
+        self, doc_id: str, root: XMLNode, metadata: Optional[Dict[str, str]] = None
+    ) -> None:
         """Route one new document to its shard and fold the global statistics.
 
         Mirrors :meth:`Corpus.add_document` semantics: atomic (a failed
@@ -534,10 +537,10 @@ class ShardedCorpus:
         caches and outstanding pagination cursors are invalidated.
         """
         if doc_id in self._shard_of:
-            raise StorageError(f"duplicate document id: {doc_id!r}")
+            raise DuplicateDocumentError(doc_id)
         shard_index = _checked_assignment(self.assignment, doc_id, len(self.shards))
         shard = self.shards[shard_index]
-        shard.add_document(doc_id, root)
+        shard.add_document(doc_id, root, metadata=metadata)
         try:
             self.statistics.add_document(root)
         except Exception:
@@ -557,9 +560,48 @@ class ShardedCorpus:
         shard = self.shard_for(doc_id)  # raises before any mutation
         root = shard.store.get(doc_id).root
         shard.remove_document(doc_id)
-        self.statistics.remove_document(root)
+        try:
+            self.statistics.remove_document(root)
+        except Exception:
+            # The shard removal stands and statistics subtraction has no
+            # incremental undo, so mirror Corpus.remove_document: drop the
+            # routing entry and rebuild the global table from the (still
+            # consistent) shards rather than leaving it diverged.  The
+            # version bump keeps engine caches honest about the mutation.
+            del self._shard_of[doc_id]
+            self.dictionary = TermDictionary()
+            self.statistics = _merge_statistics(self.shards, self.dictionary)
+            self.version += 1
+            raise
         del self._shard_of[doc_id]
         self.version += 1
+
+    def begin_generation(self) -> "ShardedCorpus":
+        """Start a new mutable generation of this sharded corpus.
+
+        Clones every shard via :meth:`Corpus.begin_generation` and copies the
+        global pieces (routing table, dictionary, merged statistics) without
+        re-running the statistics merge — the clone starts from this
+        corpus's exact global state and mutates it incrementally.  Bypasses
+        ``__init__`` for the same reason snapshot loading does: the parts
+        arrive ready-made.
+        """
+        clone = ShardedCorpus.__new__(ShardedCorpus)
+        clone.name = self.name
+        clone.shards = [shard.begin_generation() for shard in self.shards]
+        clone.assignment = self.assignment
+        clone.version = self.version
+        clone.build_backend = self.build_backend
+        clone._shard_of = dict(self._shard_of)
+        clone.dictionary = self.dictionary.clone()
+        clone.statistics = self.statistics.clone(clone.dictionary)
+        clone.store = ShardedStoreView(clone)
+        return clone
+
+    def finalize(self) -> None:
+        """Finalize every shard (see :meth:`Corpus.finalize`)."""
+        for shard in self.shards:
+            shard.finalize()
 
     def refresh(self) -> None:
         """Rebuild every shard's derived structures and re-merge the stats."""

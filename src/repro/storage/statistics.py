@@ -153,6 +153,38 @@ class CorpusStatistics:
         stats._total_elements = total_elements
         return stats
 
+    def clone(self, dictionary: Optional[TermDictionary] = None) -> "CorpusStatistics":
+        """Independent deep-enough copy for generation-swap writes.
+
+        Unlike the index, the statistics mutate their aggregates *in place*
+        (:class:`PathSummary` fields, the per-path value and sibling-run
+        counters), so sharing them across generations is unsafe: every
+        summary dataclass and every inner counter dict is copied.  Cost is
+        proportional to the number of distinct paths, not corpus size —
+        DataGuide summaries are small by construction.  Pass the owning
+        corpus's cloned dictionary so term interning stays private.
+        """
+        return CorpusStatistics._restore(
+            dictionary if dictionary is not None else self._dictionary,
+            paths={
+                path: PathSummary(
+                    path=summary.path,
+                    count=summary.count,
+                    max_siblings=summary.max_siblings,
+                    leaf_count=summary.leaf_count,
+                    distinct_values=summary.distinct_values,
+                )
+                for path, summary in self._paths.items()
+            },
+            path_values={path: dict(values) for path, values in self._path_values.items()},
+            path_sibling_runs={
+                path: dict(runs) for path, runs in self._path_sibling_runs.items()
+            },
+            term_document_frequency=dict(self._term_document_frequency),
+            document_count=self._document_count,
+            total_elements=self._total_elements,
+        )
+
     def add_document(self, root: XMLNode) -> None:
         """Fold one document tree into the statistics."""
         self._document_count += 1

@@ -91,6 +91,17 @@ class TermDictionary:
             raise SnapshotFormatError("malformed snapshot: term dictionary has duplicate terms")
         return dictionary
 
+    def clone(self) -> "TermDictionary":
+        """Return an independent copy preserving every term ↔ id assignment.
+
+        Generation-swap writes clone the dictionary so the new generation can
+        intern fresh terms without the served generation observing them.
+        """
+        copy = TermDictionary()
+        copy._ids = dict(self._ids)
+        copy._terms = list(self._terms)
+        return copy
+
     # ------------------------------------------------------------------ #
     # Resolution (read side)
     # ------------------------------------------------------------------ #

@@ -62,6 +62,23 @@ class StructuralTable:
         table._restored = len(documents)
         return table
 
+    def clone(self, loader: RootLoader) -> "StructuralTable":
+        """Copy for a new corpus generation, rebound to that generation's store.
+
+        The per-document cache is copied (each :class:`DocumentStructure` is
+        immutable once built, so instances are shared); the
+        :class:`TagDictionary` is shared outright — it interns append-only
+        under its own lock, so tag ids stay stable across generations.
+        """
+        with self._lock:
+            documents = dict(self._documents)
+            computed = self._computed
+            restored = self._restored
+        table = StructuralTable.restore(loader, self.tags, documents)
+        table._computed = computed
+        table._restored = restored
+        return table
+
     def get(self, doc_id: str) -> DocumentStructure:
         """The structural index of one document, computed on first access.
 

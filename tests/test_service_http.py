@@ -469,3 +469,247 @@ class TestConditionalGet:
         status, new_stats_tag, _ = conditional_get(f"{base_url}/stats", etag=stats_tag)
         assert status == 200
         assert new_stats_tag != stats_tag
+
+    def test_etag_matches_served_body_when_corpus_mutates_mid_request(
+        self, mutable_server
+    ):
+        # The race this pins: the handler used to stamp the 200 with a tag
+        # computed from the corpus version read *before* evaluation.  A
+        # mutation in the window between that read and the search meant the
+        # response body came from the new corpus while the ETag named the
+        # old one — so a later If-None-Match with that tag would 304 against
+        # different bytes.  The emitted tag is now derived from the response.
+        from repro.service.protocol import IngestRequest
+
+        server, base_url = mutable_server
+        service = server.service
+        service.writable = True  # enable the mutation used by the hook
+        original = service.search
+        fired = []
+
+        def mutate_then_search(request):
+            if not fired:
+                fired.append(True)
+                service.ingest(
+                    IngestRequest(
+                        doc_id="race", xml="<product><name>Race GPS</name></product>"
+                    )
+                )
+            return original(request)
+
+        service.search = mutate_then_search
+        try:
+            status, etag, body = conditional_get(f"{base_url}/search?q=gps")
+        finally:
+            del service.search
+        assert status == 200
+        served_version = json.loads(body)["corpus_version"]
+        assert fired and served_version == service.corpus.version
+        assert f"/v{served_version}/" in etag  # tag names the served body
+        # And the validator round-trips: same tag now revalidates to 304.
+        assert conditional_get(f"{base_url}/search?q=gps", etag=etag)[0] == 304
+
+
+class TestClientDisconnect:
+    def test_disconnect_during_write_is_swallowed(self):
+        # The bug this pins: a client that dropped the connection mid-write
+        # raised BrokenPipeError out of the endpoint, the 500 path then wrote
+        # to the same dead socket, and the second BrokenPipeError escaped the
+        # handler as a logged traceback.  _handle now swallows both.
+        from repro.service.http import _Handler
+
+        for exception in (BrokenPipeError, ConnectionResetError):
+            handler = object.__new__(_Handler)
+            handler.close_connection = False
+
+            def dead_socket_write(*args, **kwargs):
+                raise exception("peer went away")
+
+            # Any response write hits the dead socket, including the error
+            # response the inner handlers would send.
+            handler._error = dead_socket_write
+
+            def endpoint():
+                raise exception("peer went away")
+
+            handler._handle(endpoint)  # must not raise
+            assert handler.close_connection
+
+    def test_disconnect_during_error_response_is_swallowed(self):
+        from repro.service.http import _Handler
+
+        handler = object.__new__(_Handler)
+        handler.close_connection = False
+
+        def dead_socket_write(*args, **kwargs):
+            raise BrokenPipeError("peer went away")
+
+        handler._error = dead_socket_write
+
+        def endpoint():
+            raise ValueError("server-side failure while the peer is gone")
+
+        handler._handle(endpoint)  # 500 path writes to the dead socket
+        assert handler.close_connection
+
+    def test_server_survives_client_hangup(self, base_url, server):
+        # Socket-level sanity: open a connection, send a request, hang up
+        # without reading; the server must keep serving other clients.
+        import socket
+
+        host, port = server.server_address[:2]
+        for _ in range(3):
+            raw = socket.create_connection((host, port), timeout=5)
+            raw.sendall(b"GET /search?q=gps&page_size=100 HTTP/1.1\r\n"
+                        b"Host: test\r\n\r\n")
+            raw.close()  # disappear before the response is written
+        status, payload = get_json(f"{base_url}/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+
+@pytest.fixture()
+def writable_server():
+    """A writable service over a private corpus, with mutation endpoints."""
+    from repro.storage.corpus import Corpus
+    from repro.storage.document_store import DocumentStore
+    from repro.xmlmodel.parser import parse_xml
+
+    store = DocumentStore()
+    store.add("p1", parse_xml("<product><name>TomTom Go GPS</name></product>"))
+    store.add("p2", parse_xml("<product><name>Garmin Nuvi GPS</name></product>"))
+    service = SearchService(Corpus(store, name="writable"), default_page_size=1, writable=True)
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield server, f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def post_raw(url, body, method="POST"):
+    request = urllib.request.Request(url, data=body, method=method)
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestMutationEndpoints:
+    NEW_DOC = {"doc_id": "p9", "xml": "<product><name>Magellan GPS</name></product>"}
+
+    def test_ingest_document_and_requery(self, writable_server):
+        _, base_url = writable_server
+        _, before = get_json(f"{base_url}/search?q=gps&page_size=10")
+        request = urllib.request.Request(
+            f"{base_url}/documents", data=json.dumps(self.NEW_DOC).encode(), method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 201
+            payload = json.loads(response.read())
+        assert payload["action"] == "add"
+        assert payload["corpus_version"] == before["corpus_version"] + 1
+        _, after = get_json(f"{base_url}/search?q=gps&page_size=10")
+        assert after["total"] == before["total"] + 1
+        assert "p9" in {item["doc_id"] for item in after["items"]}
+
+    def test_duplicate_ingest_is_409(self, writable_server):
+        _, base_url = writable_server
+        body = json.dumps(self.NEW_DOC).encode()
+        post_raw(f"{base_url}/documents", body)
+        code, payload = error_response(lambda: post_raw(f"{base_url}/documents", body))
+        assert code == 409
+        assert payload["error"]["type"] == "DuplicateDocumentError"
+        assert "p9" in payload["error"]["message"]
+
+    def test_unparsable_xml_is_400(self, writable_server):
+        _, base_url = writable_server
+        body = json.dumps({"doc_id": "bad", "xml": "<broken"}).encode()
+        code, payload = error_response(lambda: post_raw(f"{base_url}/documents", body))
+        assert code == 400
+        assert payload["error"]["type"] == "XMLParseError"
+
+    def test_read_only_service_is_403(self, base_url):
+        body = json.dumps(self.NEW_DOC).encode()
+        code, payload = error_response(lambda: post_raw(f"{base_url}/documents", body))
+        assert code == 403
+        assert payload["error"]["type"] == "ReadOnlyServiceError"
+        code, _ = error_response(
+            lambda: post_raw(f"{base_url}/documents/p1", b"", method="DELETE")
+        )
+        assert code == 403
+
+    def test_delete_document(self, writable_server):
+        _, base_url = writable_server
+        status, payload = post_raw(f"{base_url}/documents/p1", None, method="DELETE")
+        assert status == 200
+        assert payload["action"] == "delete"
+        assert payload["documents"] == 1
+        code, payload = error_response(
+            lambda: post_raw(f"{base_url}/documents/p1", None, method="DELETE")
+        )
+        assert code == 404
+        assert payload["error"]["type"] == "DocumentNotFoundError"
+
+    def test_bulk_ingest_ndjson(self, writable_server):
+        _, base_url = writable_server
+        lines = [
+            json.dumps({"doc_id": "b1", "xml": "<product><name>Bulk GPS one</name></product>"}),
+            "",  # blank lines are ignored
+            json.dumps({"doc_id": "p1", "xml": "<a/>"}),  # duplicate: per-line error
+            json.dumps({"doc_id": "b2", "xml": "<product><name>Bulk GPS two</name></product>"}),
+        ]
+        status, payload = post_raw(
+            f"{base_url}/documents:bulk", "\n".join(lines).encode()
+        )
+        assert status == 200
+        assert payload["ingested"] == 2
+        # Error lines are *physical* NDJSON lines: the blank line 2 counts.
+        assert [error["line"] for error in payload["errors"]] == [3]
+        assert payload["errors"][0]["doc_id"] == "p1"
+        _, after = get_json(f"{base_url}/search?q=gps&page_size=10")
+        assert {"b1", "b2"} <= {item["doc_id"] for item in after["items"]}
+
+    def test_bulk_framing_error_is_400_naming_the_line(self, writable_server):
+        _, base_url = writable_server
+        body = b'{"doc_id": "ok", "xml": "<a/>"}\n{"doc_id": broken'
+        code, payload = error_response(lambda: post_raw(f"{base_url}/documents:bulk", body))
+        assert code == 400
+        assert "line 2" in payload["error"]["message"]
+        # Framing errors reject the whole batch: nothing was ingested.
+        _, feed = get_json(f"{base_url}/documents/updated-since?version=0")
+        assert feed["entries"] == []
+
+    def test_change_feed_over_the_wire(self, writable_server):
+        _, base_url = writable_server
+        post_raw(f"{base_url}/documents", json.dumps(self.NEW_DOC).encode())
+        post_raw(f"{base_url}/documents/p2", None, method="DELETE")
+        status, feed = get_json(f"{base_url}/documents/updated-since?version=0")
+        assert status == 200
+        assert feed["complete"] is True
+        assert [(entry["doc_id"], entry["action"]) for entry in feed["entries"]] == [
+            ("p9", "add"),
+            ("p2", "delete"),
+        ]
+        code, payload = error_response(
+            lambda: get_json(f"{base_url}/documents/updated-since")
+        )
+        assert code == 400
+        assert "version" in payload["error"]["message"]
+
+    def test_mutation_invalidates_cursor_with_410(self, writable_server):
+        _, base_url = writable_server
+        _, first = get_json(f"{base_url}/search?q=gps&page_size=1")
+        cursor = urllib.parse.quote(first["next_cursor"])
+        post_raw(f"{base_url}/documents", json.dumps(self.NEW_DOC).encode())
+        code, payload = error_response(lambda: get_json(f"{base_url}/search?cursor={cursor}"))
+        assert code == 410
+        assert payload["error"]["type"] == "InvalidCursorError"
+        assert "stale" in payload["error"]["message"]
+
+    def test_root_lists_mutation_endpoints(self, base_url):
+        _, payload = get_json(f"{base_url}/")
+        assert "POST /documents" in payload["endpoints"]
+        assert "GET /documents/updated-since" in payload["endpoints"]

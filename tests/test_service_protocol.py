@@ -18,10 +18,16 @@ from hypothesis import strategies as st
 
 from repro.errors import ProtocolError
 from repro.service.protocol import (
+    BulkIngestError,
+    BulkIngestResponse,
+    ChangeEntry,
+    ChangeFeedResponse,
     CompareCell,
     CompareRequest,
     CompareResponse,
     CompareRow,
+    IngestRequest,
+    IngestResponse,
     ResultItem,
     SearchRequest,
     SearchResponse,
@@ -91,6 +97,52 @@ compare_rows = st.builds(
     cells=st.lists(compare_cells, max_size=4).map(tuple),
 )
 
+ingest_requests = st.builds(
+    IngestRequest,
+    doc_id=name,
+    xml=text,
+    metadata=st.none() | st.dictionaries(name, text, max_size=3),
+)
+
+ingest_responses = st.builds(
+    IngestResponse,
+    doc_id=name,
+    action=st.sampled_from(["add", "delete"]),
+    corpus_version=counts,
+    documents=counts,
+)
+
+bulk_ingest_errors = st.builds(
+    BulkIngestError,
+    line=st.integers(min_value=1, max_value=10**6),
+    error=text,
+    doc_id=st.none() | name,
+)
+
+bulk_ingest_responses = st.builds(
+    BulkIngestResponse,
+    requested=counts,
+    ingested=counts,
+    corpus_version=counts,
+    documents=counts,
+    errors=st.lists(bulk_ingest_errors, max_size=3).map(tuple),
+)
+
+change_entries = st.builds(
+    ChangeEntry,
+    version=counts,
+    doc_id=name,
+    action=st.sampled_from(["add", "delete"]),
+)
+
+change_feed_responses = st.builds(
+    ChangeFeedResponse,
+    since=counts,
+    corpus_version=counts,
+    complete=st.booleans(),
+    entries=st.lists(change_entries, max_size=4).map(tuple),
+)
+
 compare_responses = st.builds(
     CompareResponse,
     query=text,
@@ -148,6 +200,42 @@ class TestRoundTrip:
         json.dumps(encoded)
         assert CompareResponse.from_dict(encoded) == response
 
+    @given(ingest_requests)
+    def test_ingest_request(self, request):
+        encoded = request.to_dict()
+        json.dumps(encoded)
+        assert IngestRequest.from_dict(encoded) == request
+
+    @given(ingest_responses)
+    def test_ingest_response(self, response):
+        encoded = response.to_dict()
+        json.dumps(encoded)
+        assert IngestResponse.from_dict(encoded) == response
+
+    @given(bulk_ingest_errors)
+    def test_bulk_ingest_error(self, error):
+        encoded = error.to_dict()
+        json.dumps(encoded)
+        assert BulkIngestError.from_dict(encoded) == error
+
+    @given(bulk_ingest_responses)
+    def test_bulk_ingest_response(self, response):
+        encoded = response.to_dict()
+        json.dumps(encoded)
+        assert BulkIngestResponse.from_dict(encoded) == response
+
+    @given(change_entries)
+    def test_change_entry(self, entry):
+        encoded = entry.to_dict()
+        json.dumps(encoded)
+        assert ChangeEntry.from_dict(encoded) == entry
+
+    @given(change_feed_responses)
+    def test_change_feed_response(self, response):
+        encoded = response.to_dict()
+        json.dumps(encoded)
+        assert ChangeFeedResponse.from_dict(encoded) == response
+
     @given(search_responses)
     def test_through_json_text(self, response):
         # The full wire path: object -> dict -> JSON text -> dict -> object.
@@ -187,6 +275,28 @@ GOLDEN_COMPARE_RESPONSE = (
     '{"occurrences": 0, "population": 0, "value": null}], '
     '"differentiating": true, "feature_type": "review.pro"}], '
     '"semantics": "slca"}'
+)
+
+
+GOLDEN_INGEST_REQUEST = (
+    '{"doc_id": "product-9", "metadata": {"source": "crawler"}, '
+    '"xml": "<product><name>TomTom Go 630</name></product>"}'
+)
+
+GOLDEN_INGEST_RESPONSE = (
+    '{"action": "add", "corpus_version": 4, "doc_id": "product-9", "documents": 7}'
+)
+
+GOLDEN_BULK_INGEST_RESPONSE = (
+    '{"corpus_version": 6, "documents": 9, "errors": '
+    '[{"doc_id": "product-9", "error": "duplicate document id: \'product-9\'", "line": 2}], '
+    '"ingested": 2, "requested": 3}'
+)
+
+GOLDEN_CHANGE_FEED_RESPONSE = (
+    '{"complete": true, "corpus_version": 6, "entries": '
+    '[{"action": "add", "doc_id": "product-9", "version": 5}, '
+    '{"action": "delete", "doc_id": "product-2", "version": 6}], "since": 4}'
 )
 
 
@@ -268,6 +378,62 @@ class TestGoldenFixtures:
         assert golden_wire(response) == GOLDEN_COMPARE_RESPONSE
         assert CompareResponse.from_dict(json.loads(GOLDEN_COMPARE_RESPONSE)) == response
 
+    def test_ingest_request(self):
+        request = IngestRequest(
+            doc_id="product-9",
+            xml="<product><name>TomTom Go 630</name></product>",
+            metadata={"source": "crawler"},
+        )
+        assert golden_wire(request) == GOLDEN_INGEST_REQUEST
+        assert IngestRequest.from_dict(json.loads(GOLDEN_INGEST_REQUEST)) == request
+
+    def test_ingest_request_omits_unset_metadata(self):
+        # The two-field form is the common wire shape; metadata must not
+        # appear as an explicit null.
+        request = IngestRequest(doc_id="product-9", xml="<a/>")
+        assert "metadata" not in request.to_dict()
+
+    def test_ingest_response(self):
+        response = IngestResponse(
+            doc_id="product-9", action="add", corpus_version=4, documents=7
+        )
+        assert golden_wire(response) == GOLDEN_INGEST_RESPONSE
+        assert IngestResponse.from_dict(json.loads(GOLDEN_INGEST_RESPONSE)) == response
+
+    def test_bulk_ingest_response(self):
+        response = BulkIngestResponse(
+            requested=3,
+            ingested=2,
+            corpus_version=6,
+            documents=9,
+            errors=(
+                BulkIngestError(
+                    line=2,
+                    error="duplicate document id: 'product-9'",
+                    doc_id="product-9",
+                ),
+            ),
+        )
+        assert golden_wire(response) == GOLDEN_BULK_INGEST_RESPONSE
+        assert (
+            BulkIngestResponse.from_dict(json.loads(GOLDEN_BULK_INGEST_RESPONSE)) == response
+        )
+
+    def test_change_feed_response(self):
+        response = ChangeFeedResponse(
+            since=4,
+            corpus_version=6,
+            complete=True,
+            entries=(
+                ChangeEntry(version=5, doc_id="product-9", action="add"),
+                ChangeEntry(version=6, doc_id="product-2", action="delete"),
+            ),
+        )
+        assert golden_wire(response) == GOLDEN_CHANGE_FEED_RESPONSE
+        assert (
+            ChangeFeedResponse.from_dict(json.loads(GOLDEN_CHANGE_FEED_RESPONSE)) == response
+        )
+
     def test_sharded_stats_corpus_section(self):
         """`GET /stats` with a sharded backend: additive schema, pinned exactly.
 
@@ -309,9 +475,42 @@ class TestValidation:
             CompareCell,
             CompareRow,
             CompareResponse,
+            IngestRequest,
+            IngestResponse,
+            BulkIngestError,
+            BulkIngestResponse,
+            ChangeEntry,
+            ChangeFeedResponse,
         ):
             with pytest.raises(ProtocolError):
                 decoder.from_dict(["not", "an", "object"])
+
+    def test_ingest_metadata_must_map_strings_to_strings(self):
+        with pytest.raises(ProtocolError, match="strings to strings"):
+            IngestRequest.from_dict(
+                {"doc_id": "d", "xml": "<a/>", "metadata": {"source": 7}}
+            )
+
+    def test_ingest_metadata_must_be_an_object(self):
+        with pytest.raises(ProtocolError):
+            IngestRequest.from_dict({"doc_id": "d", "xml": "<a/>", "metadata": "crawler"})
+
+    def test_change_feed_complete_must_be_boolean(self):
+        with pytest.raises(ProtocolError, match="'complete' must be a boolean"):
+            ChangeFeedResponse.from_dict(
+                {"since": 0, "corpus_version": 1, "complete": 1, "entries": []}
+            )
+
+    def test_change_feed_entries_validated(self):
+        with pytest.raises(ProtocolError):
+            ChangeFeedResponse.from_dict(
+                {
+                    "since": 0,
+                    "corpus_version": 1,
+                    "complete": True,
+                    "entries": [{"version": 1}],
+                }
+            )
 
     def test_missing_required_field(self):
         with pytest.raises(ProtocolError, match="missing required field 'doc_id'"):
